@@ -1,0 +1,113 @@
+// Package-level benchmarks: one per table and figure of the paper, plus
+// the ablation studies called out in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark regenerates its experiment through internal/bench and
+// reports the headline scalar as a custom metric, so `-bench` output doubles
+// as a results summary. Quick mode is used so the full suite finishes in
+// minutes; run cmd/flipbit without -quick for full-scale tables.
+package flipbit_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/flipbit-sim/flipbit/internal/bench"
+)
+
+var benchCfg = bench.Config{Quick: true}
+
+// runExperiment executes one registered experiment b.N times (the tables
+// are deterministic, so N is usually 1) and returns the last table.
+func runExperiment(b *testing.B, id string) *bench.Table {
+	b.Helper()
+	e := bench.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var tab *bench.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = e.Run(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tab
+}
+
+// lastPct extracts the percentage in the given column of the table's final
+// row (the MEAN/GEOMEAN summary line) as a fraction.
+func lastPct(b *testing.B, tab *bench.Table, col int) float64 {
+	b.Helper()
+	row := tab.Rows[len(tab.Rows)-1]
+	v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "%"), 64)
+	if err != nil {
+		b.Fatalf("no percentage in %q", row[col])
+	}
+	return v / 100
+}
+
+func BenchmarkFig1(b *testing.B)   { runExperiment(b, "fig1") }
+func BenchmarkTableI(b *testing.B) { runExperiment(b, "table1") }
+
+func BenchmarkTableII(b *testing.B) { runExperiment(b, "table2") }
+
+func BenchmarkFig4(b *testing.B) { runExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B) { runExperiment(b, "fig5") }
+
+func BenchmarkTableIII(b *testing.B) { runExperiment(b, "table3") }
+
+func BenchmarkFig10(b *testing.B) {
+	tab := runExperiment(b, "fig10")
+	b.ReportMetric(100*lastPct(b, tab, 2), "mean-energy-reduction-%")
+}
+
+func BenchmarkFig11(b *testing.B) { runExperiment(b, "fig11") }
+
+func BenchmarkFig12(b *testing.B) {
+	tab := runExperiment(b, "fig12")
+	b.ReportMetric(100*lastPct(b, tab, 4), "mean-energy-reduction-%")
+}
+
+func BenchmarkFig13(b *testing.B) {
+	tab := runExperiment(b, "fig13")
+	row := tab.Rows[len(tab.Rows)-1]
+	if f1, err := strconv.ParseFloat(row[4], 64); err == nil {
+		b.ReportMetric(f1, "geomean-F1")
+	}
+}
+
+func BenchmarkFig14(b *testing.B) { runExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { runExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B) { runExperiment(b, "fig16") }
+
+func BenchmarkFig17(b *testing.B) {
+	tab := runExperiment(b, "fig17")
+	b.ReportMetric(100*lastPct(b, tab, 4), "geomean-lifetime-increase-%")
+}
+
+func BenchmarkFig18(b *testing.B) {
+	tab := runExperiment(b, "fig18")
+	b.ReportMetric(100*lastPct(b, tab, 4), "geomean-lifetime-increase-%")
+}
+
+func BenchmarkTableIV(b *testing.B) { runExperiment(b, "table4") }
+
+func BenchmarkAblationOptimality(b *testing.B) { runExperiment(b, "ablation-optimality") }
+func BenchmarkAblationErrorMetric(b *testing.B) {
+	runExperiment(b, "ablation-metric")
+}
+func BenchmarkAblationFallback(b *testing.B)    { runExperiment(b, "ablation-fallback") }
+func BenchmarkAblationSkipProgram(b *testing.B) { runExperiment(b, "ablation-skip") }
+func BenchmarkAblationMLC(b *testing.B)         { runExperiment(b, "ablation-mlc") }
+func BenchmarkAblationFloat(b *testing.B)       { runExperiment(b, "ablation-float") }
+func BenchmarkAblationPageSize(b *testing.B)    { runExperiment(b, "ablation-pagesize") }
+
+func BenchmarkExpRelatedWork(b *testing.B) { runExperiment(b, "exp-related") }
+func BenchmarkExpWearLeveling(b *testing.B) {
+	runExperiment(b, "exp-wear")
+}
+func BenchmarkExpEnergyHarvest(b *testing.B) { runExperiment(b, "exp-harvest") }

@@ -1,0 +1,167 @@
+// Command em0 is the toolchain for the repository's EM0 microcontroller
+// simulator: it assembles, disassembles and runs EM0 programs against the
+// simulated FlipBit flash system, reporting cycles, energy and flash
+// statistics.
+//
+// Usage:
+//
+//	em0 asm prog.s -o prog.bin [-base 0x20000000]
+//	em0 dis prog.bin [-base 0x20000000]
+//	em0 run prog.s [-xip] [-steps N] [-sram N]
+//
+// `run` assembles and executes in one step. With -xip the program is
+// placed in (and fetched from) NOR flash, paying real read latency and
+// energy per instruction fetch; otherwise it runs from SRAM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/flipbit-sim/flipbit/internal/core"
+	"github.com/flipbit-sim/flipbit/internal/flash"
+	"github.com/flipbit-sim/flipbit/internal/mcu"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "asm":
+		err = cmdAsm(os.Args[2:])
+	case "dis":
+		err = cmdDis(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "em0: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  em0 asm <prog.s> -o <prog.bin> [-base addr]
+  em0 dis <prog.bin> [-base addr]
+  em0 run <prog.s> [-xip] [-steps N] [-sram bytes]`)
+}
+
+func cmdAsm(args []string) error {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	out := fs.String("o", "", "output image path (required)")
+	base := fs.Uint64("base", uint64(mcu.SRAMBase), "load address the image is linked for")
+	if err := fs.Parse(sourceFirst(args, fs)); err != nil {
+		return err
+	}
+	src, err := readSource(fs)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("asm: -o is required")
+	}
+	img, err := mcu.Assemble(src, uint32(*base))
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, img, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d bytes at %#x\n", *out, len(img), *base)
+	return nil
+}
+
+func cmdDis(args []string) error {
+	fs := flag.NewFlagSet("dis", flag.ExitOnError)
+	base := fs.Uint64("base", uint64(mcu.SRAMBase), "address the image is loaded at")
+	if err := fs.Parse(sourceFirst(args, fs)); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("dis: image path required")
+	}
+	img, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Print(mcu.DisassembleImage(img, uint32(*base)))
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	xip := fs.Bool("xip", false, "execute in place from NOR flash")
+	steps := fs.Int("steps", 10_000_000, "instruction budget")
+	sram := fs.Int("sram", 64*1024, "SRAM size in bytes")
+	if err := fs.Parse(sourceFirst(args, fs)); err != nil {
+		return err
+	}
+	src, err := readSource(fs)
+	if err != nil {
+		return err
+	}
+	dev, err := core.NewDevice(flash.DefaultSpec())
+	if err != nil {
+		return err
+	}
+	bus := mcu.NewBus(*sram, dev)
+	entry := mcu.SRAMBase
+	if *xip {
+		entry = mcu.FlashBase
+	}
+	img, err := mcu.Assemble(src, entry)
+	if err != nil {
+		return err
+	}
+	if err := bus.LoadProgram(entry, img); err != nil {
+		return err
+	}
+	dev.ResetStats() // exclude firmware programming
+
+	cpu := mcu.NewCPU(bus, entry)
+	runErr := cpu.Run(*steps)
+	if bus.Console.Len() > 0 {
+		fmt.Printf("console: %q\n", bus.Console.String())
+	}
+	st := dev.Flash().Stats()
+	ctrl := dev.Stats()
+	fmt.Printf("cpu:   %d cycles, %v, pc=%#x halted=%v\n", cpu.Cycles, cpu.Energy(), cpu.PC, cpu.Halted)
+	fmt.Printf("flash: reads=%d programs=%d (skipped %d) erases=%d energy=%v busy=%v\n",
+		st.Reads, st.Programs, st.ProgramsSkipped, st.Erases, st.Energy, st.Busy)
+	if ctrl.PagesApprox+ctrl.PagesExact > 0 {
+		fmt.Printf("flipbit: approx pages=%d exact fallbacks=%d mean |error|=%.2f\n",
+			ctrl.PagesApprox, ctrl.PagesExact, ctrl.MAE())
+	}
+	return runErr
+}
+
+// sourceFirst lets the positional source argument precede flags
+// (em0 run prog.s -xip), which flag alone does not support.
+func sourceFirst(args []string, fs *flag.FlagSet) []string {
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		// Rotate: parse flags after the positional argument, then
+		// re-append the positional so fs.Arg(0) still works.
+		rest := args[1:]
+		return append(append([]string{}, rest...), args[0])
+	}
+	return args
+}
+
+func readSource(fs *flag.FlagSet) (string, error) {
+	if fs.NArg() < 1 {
+		return "", fmt.Errorf("source file required")
+	}
+	b, err := os.ReadFile(fs.Arg(fs.NArg() - 1))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

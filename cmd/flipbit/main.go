@@ -1,0 +1,95 @@
+// Command flipbit regenerates the tables and figures of "FlipBit:
+// Approximate Flash Memory for IoT Devices" (HPCA 2024) from the simulation
+// library in this repository.
+//
+// Usage:
+//
+//	flipbit list                 # show every experiment
+//	flipbit fig10                # regenerate one experiment
+//	flipbit fig10 fig14 table4   # several
+//	flipbit all                  # everything, in paper order
+//	flipbit -quick all           # trimmed workloads (seconds, same shapes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/flipbit-sim/flipbit/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "trim workloads for a fast run (shapes preserved)")
+	csvDir := flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cfg := bench.Config{Quick: *quick}
+
+	if args[0] == "list" {
+		for _, e := range bench.Registry() {
+			fmt.Printf("  %-20s %s\n", e.ID, e.What)
+		}
+		return
+	}
+
+	var ids []string
+	if args[0] == "all" {
+		for _, e := range bench.Registry() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+	for _, id := range ids {
+		e := bench.ByID(id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "flipbit: unknown experiment %q (try 'flipbit list')\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tab, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flipbit: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tab.Render(os.Stdout)
+		fmt.Printf("  (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, id, tab); err != nil {
+				fmt.Fprintf(os.Stderr, "flipbit: csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir, id string, tab *bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tab.RenderCSV(f)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: flipbit [-quick] <experiment-id>... | all | list
+
+Regenerates the paper's tables and figures. Examples:
+  flipbit list
+  flipbit table2 fig10
+  flipbit -quick all
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,87 @@
+// Quickstart: store a stream of noisy sensor readings in flash, first
+// exactly, then through FlipBit, and compare energy, erases and error.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	flipbit "github.com/flipbit-sim/flipbit"
+)
+
+func main() {
+	// A slowly drifting temperature-like signal with sensor noise,
+	// sampled into 8-bit codes — the kind of data IoT devices log.
+	const samples = 4096
+	readings := make([]byte, samples)
+	seed := uint32(12345)
+	next := func() uint32 { seed = seed*1664525 + 1013904223; return seed }
+	base := 120.0
+	for i := range readings {
+		base += float64(int(next()%7)) - 3 // drift
+		if base < 40 {
+			base = 40
+		}
+		if base > 215 {
+			base = 215
+		}
+		readings[i] = byte(base) + byte(next()%5)
+	}
+
+	run := func(name string, threshold float64) flipbit.FlashStats {
+		dev, err := flipbit.NewDevice(flipbit.DefaultSpec())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if threshold >= 0 {
+			// Mark the log region approximatable (Listing 2's
+			// linker section) and set the error budget
+			// (Listing 1's setApproxThreshold).
+			if err := dev.SetApproxRegion(0, 8192); err != nil {
+				log.Fatal(err)
+			}
+			if err := dev.SetWidth(flipbit.W8); err != nil {
+				log.Fatal(err)
+			}
+			dev.SetThreshold(threshold)
+		}
+		// Rewrite the same log region 16 times, as a circular sensor
+		// log does; this is the repeated-write pattern FlipBit helps.
+		for round := 0; round < 16; round++ {
+			for i := range readings {
+				readings[i] += byte(next() % 3)
+			}
+			if err := dev.Write(0, readings); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Read the final log back and measure the error FlipBit left.
+		stored := make([]byte, samples)
+		if err := dev.Read(0, stored); err != nil {
+			log.Fatal(err)
+		}
+		var sumErr int
+		for i := range stored {
+			d := int(stored[i]) - int(readings[i])
+			if d < 0 {
+				d = -d
+			}
+			sumErr += d
+		}
+		st := dev.Flash().Stats()
+		fmt.Printf("%-22s energy %-10v erases %-5d programs %-6d mean |error| %.2f\n",
+			name, st.Energy, st.Erases, st.Programs, float64(sumErr)/samples)
+		return st
+	}
+
+	fmt.Println("FlipBit quickstart — 16 rewrites of a 4 KiB sensor log")
+	fmt.Println()
+	exact := run("exact baseline", -1)
+	fb := run("FlipBit (threshold 2)", 2)
+	fmt.Println()
+	fmt.Printf("flash energy saved: %.1f%%   erases avoided: %.1f%%\n",
+		100*(1-float64(fb.Energy)/float64(exact.Energy)),
+		100*(1-float64(fb.Erases)/float64(exact.Erases)))
+}

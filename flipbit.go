@@ -1,0 +1,138 @@
+// Package flipbit is a simulation library for FlipBit — approximate flash
+// memory for IoT devices (Buck, Ganesan, Enright Jerger; HPCA 2024).
+//
+// Flash memory can clear bits (1 → 0) with a cheap byte program, but
+// setting a bit (0 → 1) forces a page erase that is ~340× slower, ~360×
+// more energetic, and wears the device out. FlipBit exploits this
+// asymmetry: instead of writing an exact value, the flash controller writes
+// the closest value reachable using only 1 → 0 transitions, as long as the
+// page's mean absolute error stays under a programmer-supplied threshold.
+//
+// The package re-exports the stable public surface of the internal
+// implementation:
+//
+//   - Device: a NOR flash chip with the FlipBit controller attached
+//     (configuration registers, dual-buffer commit path, statistics);
+//   - Spec: the flash part model (geometry, Table I latency/energy,
+//     endurance);
+//   - the approximation encoders of §III-A (1-bit, n-bit, optimal, and the
+//     MLC n-cell variant of §VI).
+//
+// Quickstart:
+//
+//	dev, err := flipbit.NewDevice(flipbit.DefaultSpec())
+//	if err != nil { ... }
+//	dev.SetApproxRegion(0, 4096)        // like the linker script of Listing 2
+//	dev.SetWidth(flipbit.W8)            // the variable-type register
+//	dev.SetThreshold(2)                 // setApproxThreshold(2) of Listing 1
+//	err = dev.Write(0, sensorData)      // may approximate, never erases if it can help it
+//	_ = dev.Read(0, buf)
+//	stats := dev.Flash().Stats()        // erases, programs, energy, busy time
+//
+// The experiment harness that regenerates every table and figure of the
+// paper lives in cmd/flipbit; runnable scenarios are under examples/.
+package flipbit
+
+import (
+	"github.com/flipbit-sim/flipbit/internal/approx"
+	"github.com/flipbit-sim/flipbit/internal/bits"
+	"github.com/flipbit-sim/flipbit/internal/core"
+	"github.com/flipbit-sim/flipbit/internal/energy"
+	"github.com/flipbit-sim/flipbit/internal/flash"
+)
+
+// Device is a flash chip with the FlipBit controller attached. See
+// internal/core for the commit-path documentation.
+type Device = core.Device
+
+// Option configures a Device at construction.
+type Option = core.Option
+
+// Spec describes a flash part: geometry, datasheet timing/energy, and
+// endurance.
+type Spec = flash.Spec
+
+// FlashStats counts flash operations and their energy/latency cost.
+type FlashStats = flash.Stats
+
+// ControllerStats aggregates the FlipBit controller's page decisions.
+type ControllerStats = core.Stats
+
+// Encoder produces an erase-free approximation of a value given the
+// previous cell contents.
+type Encoder = approx.Encoder
+
+// Width is the logical width of values stored in the approximatable region.
+type Width = bits.Width
+
+// Supported value widths (the §III-C variable-type register).
+const (
+	W8  = bits.W8
+	W16 = bits.W16
+	W32 = bits.W32
+)
+
+// Error metrics and fallback policies for the page gate.
+const (
+	MetricMAE        = core.MetricMAE
+	MetricMSE        = core.MetricMSE
+	FallbackPerPage  = core.FallbackPerPage
+	FallbackPerValue = core.FallbackPerValue
+)
+
+// Energy is an amount of energy in joules; Power is watts.
+type (
+	Energy = energy.Energy
+	Power  = energy.Power
+)
+
+// NewDevice builds a FlipBit device over a fresh (fully erased) flash array
+// described by spec. Approximation starts disabled; configure it with
+// SetApproxRegion, SetWidth and SetThreshold.
+func NewDevice(spec Spec, opts ...Option) (*Device, error) {
+	return core.NewDevice(spec, opts...)
+}
+
+// DefaultSpec returns the embedded NOR part the paper evaluates against:
+// 256-byte pages, Table I latency and energy, 100k-cycle endurance.
+func DefaultSpec() Spec { return flash.DefaultSpec() }
+
+// WithEncoder selects the approximation encoder (default: 2-bit).
+func WithEncoder(e Encoder) Option { return core.WithEncoder(e) }
+
+// NewNBitEncoder returns the n-bit approximation encoder of Algorithm 2
+// (1 <= n <= 8). n = 2 is the paper's headline configuration.
+func NewNBitEncoder(n int) (Encoder, error) { return approx.NewNBit(n) }
+
+// NewOneBitEncoder returns Algorithm 1, the simplest scalable encoder.
+func NewOneBitEncoder() Encoder { return approx.OneBit{} }
+
+// NewOptimalEncoder returns the minimum-error encoder (the paper's baseline
+// formulation, solved in O(width) rather than by subset enumeration).
+func NewOptimalEncoder() Encoder { return approx.Optimal{} }
+
+// NewMLCEncoder returns the n-cell approximation encoder for multi-level
+// cell flash (§VI).
+func NewMLCEncoder(nCells int) (Encoder, error) { return approx.NewNCell(nCells) }
+
+// NewFloat32Encoder returns the §VI floating-point encoder: the low m
+// mantissa bits (1..23) may be approximated by inner (nil = the 2-bit
+// algorithm); sign and exponent stay exact, with unreachable values forcing
+// the controller's erase fallback. Use with width W32 over IEEE-754 bit
+// patterns.
+func NewFloat32Encoder(m int, inner Encoder) (Encoder, error) {
+	return approx.NewFloat32(m, inner)
+}
+
+// CellMode selects SLC (default) or MLC programming semantics on a Spec.
+type CellMode = flash.CellMode
+
+// Cell modes for Spec.Cell.
+const (
+	SLC = flash.SLC
+	MLC = flash.MLC
+)
+
+// CortexM0Plus returns the reference MCU power model used throughout the
+// paper's energy comparisons (2.275 mW @ 48 MHz).
+func CortexM0Plus() energy.CPUModel { return energy.CortexM0Plus() }

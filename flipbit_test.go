@@ -1,0 +1,85 @@
+package flipbit_test
+
+import (
+	"testing"
+
+	flipbit "github.com/flipbit-sim/flipbit"
+)
+
+// TestPublicAPIQuickstart exercises the façade exactly as the package doc
+// advertises it.
+func TestPublicAPIQuickstart(t *testing.T) {
+	dev, err := flipbit.NewDevice(flipbit.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.SetApproxRegion(0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.SetWidth(flipbit.W8); err != nil {
+		t.Fatal(err)
+	}
+	dev.SetThreshold(2)
+
+	data := make([]byte, 512)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := dev.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if err := dev.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if buf[i] != data[i] {
+			t.Fatalf("first write to erased flash must be exact; byte %d differs", i)
+		}
+	}
+	if dev.Flash().Stats().Energy <= 0 {
+		t.Error("no energy accounted")
+	}
+}
+
+func TestPublicEncoders(t *testing.T) {
+	if _, err := flipbit.NewNBitEncoder(2); err != nil {
+		t.Error(err)
+	}
+	if _, err := flipbit.NewNBitEncoder(0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := flipbit.NewMLCEncoder(1); err != nil {
+		t.Error(err)
+	}
+	one := flipbit.NewOneBitEncoder()
+	opt := flipbit.NewOptimalEncoder()
+	// The paper's worked example through the public API.
+	if got := one.Approximate(0b0101, 0b0011, flipbit.W8); got != 0b0001 {
+		t.Errorf("one-bit example = %04b", got)
+	}
+	if got := opt.Approximate(0b0101, 0b0011, flipbit.W8); got != 0b0100 {
+		t.Errorf("optimal example = %04b", got)
+	}
+}
+
+func TestPublicCPUModel(t *testing.T) {
+	m := flipbit.CortexM0Plus()
+	if m.Power <= 0 || m.Clock != 48e6 {
+		t.Errorf("unexpected M0+ model: %+v", m)
+	}
+}
+
+func TestPublicDeviceWithEncoderOption(t *testing.T) {
+	enc, err := flipbit.NewNBitEncoder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := flipbit.NewDevice(flipbit.DefaultSpec(), flipbit.WithEncoder(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Encoder().Name() != "4-bit" {
+		t.Errorf("encoder = %s", dev.Encoder().Name())
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/flipbit-sim/flipbit
+
+go 1.22

@@ -1,0 +1,45 @@
+package approx
+
+import (
+	"testing"
+
+	"github.com/flipbit-sim/flipbit/internal/bits"
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+// Encoder micro-benchmarks: the controller calls these once per value per
+// committed page, so per-op cost matters for simulation throughput.
+
+func benchPairs(n int) ([]uint32, []uint32) {
+	rng := xrand.New(1)
+	p := make([]uint32, n)
+	e := make([]uint32, n)
+	for i := range p {
+		p[i], e[i] = rng.Uint32(), rng.Uint32()
+	}
+	return p, e
+}
+
+func benchEncoder(b *testing.B, enc Encoder, w bits.Width) {
+	b.Helper()
+	p, e := benchPairs(1024)
+	b.ResetTimer()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += enc.Approximate(p[i%1024], e[i%1024], w)
+	}
+	_ = sink
+}
+
+func BenchmarkOneBit32(b *testing.B)  { benchEncoder(b, OneBit{}, bits.W32) }
+func BenchmarkNBit2W8(b *testing.B)   { benchEncoder(b, MustNBit(2), bits.W8) }
+func BenchmarkNBit2W32(b *testing.B)  { benchEncoder(b, MustNBit(2), bits.W32) }
+func BenchmarkNBit8W32(b *testing.B)  { benchEncoder(b, MustNBit(8), bits.W32) }
+func BenchmarkOptimal32(b *testing.B) { benchEncoder(b, Optimal{}, bits.W32) }
+func BenchmarkNCell2W8(b *testing.B)  { benchEncoder(b, MustNCell(2), bits.W8) }
+
+func BenchmarkDeriveTable8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		DeriveTable(8)
+	}
+}

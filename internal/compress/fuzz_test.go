@@ -1,0 +1,57 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLZSSRoundTrip: Compress/Decompress must round-trip any input.
+func FuzzLZSSRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("hello hello hello"))
+	f.Add(bytes.Repeat([]byte{0}, 300))
+	f.Add([]byte{0xFF, 0x00, 0xFF, 0x00})
+	f.Fuzz(func(t *testing.T, src []byte) {
+		got, err := Decompress(Compress(src))
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("round trip mismatch: %d in, %d out", len(src), len(got))
+		}
+	})
+}
+
+// FuzzLZSSDecompressRobust: arbitrary bytes must never panic the decoder;
+// errors are the acceptable outcome.
+func FuzzLZSSDecompressRobust(f *testing.F) {
+	f.Add([]byte{0x00, 0xFF, 0x00})
+	f.Add([]byte{0x01})
+	f.Fuzz(func(t *testing.T, src []byte) {
+		_, _ = Decompress(src) // must not panic
+	})
+}
+
+// FuzzHuffmanRoundTrip: the entropy coder must round-trip any input.
+func FuzzHuffmanRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{7})
+	f.Add([]byte("aaaaabbbbcccdde"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		got, err := HuffmanDecompress(HuffmanCompress(src))
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzHuffmanDecompressRobust: hostile blocks must never panic.
+func FuzzHuffmanDecompressRobust(f *testing.F) {
+	f.Add(make([]byte, 261))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		_, _ = HuffmanDecompress(src) // must not panic
+	})
+}

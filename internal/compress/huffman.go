@@ -1,0 +1,231 @@
+package compress
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Order-0 canonical Huffman coding. LZSS exploits repetition; sensor deltas
+// are usually low-entropy but non-repeating, which is exactly what an
+// entropy coder captures. HuffmanCompress produces a self-contained block:
+// a 256-entry code-length table (one byte per symbol), a 4-byte original
+// length, then the bitstream.
+
+const huffMaxCodeLen = 15
+
+// HuffmanCompress encodes src as a canonical-Huffman block.
+func HuffmanCompress(src []byte) []byte {
+	var freq [256]uint64
+	for _, b := range src {
+		freq[b]++
+	}
+	lengths := huffmanCodeLengths(freq[:])
+	codes := canonicalCodes(lengths)
+
+	out := make([]byte, 0, len(src)/2+260)
+	out = append(out, lengths...)
+	out = append(out,
+		byte(len(src)), byte(len(src)>>8), byte(len(src)>>16), byte(len(src)>>24))
+
+	var acc uint32
+	var nbits uint
+	for _, b := range src {
+		c := codes[b]
+		acc |= uint32(c.code) << nbits
+		nbits += uint(c.len)
+		for nbits >= 8 {
+			out = append(out, byte(acc))
+			acc >>= 8
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc))
+	}
+	return out
+}
+
+// HuffmanDecompress decodes a block produced by HuffmanCompress.
+func HuffmanDecompress(src []byte) ([]byte, error) {
+	if len(src) < 260 {
+		return nil, fmt.Errorf("%w: huffman header truncated", ErrCorrupt)
+	}
+	lengths := src[:256]
+	n := int(src[256]) | int(src[257])<<8 | int(src[258])<<16 | int(src[259])<<24
+	codes := canonicalCodes(lengths)
+
+	// Build a decode map from (len,code) to symbol.
+	type key struct {
+		l uint8
+		c uint16
+	}
+	decode := make(map[key]byte)
+	for sym, c := range codes {
+		if c.len > 0 {
+			decode[key{c.len, c.code}] = byte(sym)
+		}
+	}
+	// Single-symbol streams have a 1-bit code; handle zero-length
+	// streams immediately.
+	if n == 0 {
+		return []byte{}, nil
+	}
+
+	out := make([]byte, 0, n)
+	bits := src[260:]
+	var cur uint16
+	var curLen uint8
+	bitIdx := 0
+	for len(out) < n {
+		if bitIdx >= 8*len(bits) {
+			return nil, fmt.Errorf("%w: huffman bitstream exhausted at %d/%d", ErrCorrupt, len(out), n)
+		}
+		bit := bits[bitIdx/8] >> uint(bitIdx%8) & 1
+		bitIdx++
+		cur |= uint16(bit) << curLen
+		curLen++
+		if curLen > huffMaxCodeLen {
+			return nil, fmt.Errorf("%w: no code matches", ErrCorrupt)
+		}
+		if sym, ok := decode[key{curLen, cur}]; ok {
+			out = append(out, sym)
+			cur, curLen = 0, 0
+		}
+	}
+	return out, nil
+}
+
+// huffmanCodeLengths computes per-symbol code lengths via the standard
+// heap construction, then clamps to huffMaxCodeLen by flattening (rare for
+// 256 symbols; handled by recomputing with damped frequencies).
+func huffmanCodeLengths(freq []uint64) []byte {
+	type node struct {
+		w           uint64
+		sym         int // >= 0 for leaves
+		left, right int // indices into pool for internal nodes
+	}
+	var pool []node
+	h := &nodeHeap{}
+	for s, f := range freq {
+		if f > 0 {
+			pool = append(pool, node{w: f, sym: s, left: -1, right: -1})
+			heap.Push(h, heapItem{w: f, idx: len(pool) - 1})
+		}
+	}
+	lengths := make([]byte, 256)
+	switch h.Len() {
+	case 0:
+		return lengths
+	case 1:
+		// A single distinct symbol still needs one bit.
+		lengths[pool[0].sym] = 1
+		return lengths
+	}
+	for h.Len() > 1 {
+		a := heap.Pop(h).(heapItem)
+		b := heap.Pop(h).(heapItem)
+		pool = append(pool, node{w: a.w + b.w, sym: -1, left: a.idx, right: b.idx})
+		heap.Push(h, heapItem{w: a.w + b.w, idx: len(pool) - 1})
+	}
+	root := heap.Pop(h).(heapItem).idx
+	// Depth-first assignment of lengths.
+	var walk func(idx int, depth byte)
+	walk = func(idx int, depth byte) {
+		nd := pool[idx]
+		if nd.sym >= 0 {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[nd.sym] = depth
+			return
+		}
+		walk(nd.left, depth+1)
+		walk(nd.right, depth+1)
+	}
+	walk(root, 0)
+
+	// Clamp pathological depths by damping frequencies and retrying.
+	for _, l := range lengths {
+		if l > huffMaxCodeLen {
+			damped := make([]uint64, 256)
+			for s, f := range freq {
+				if f > 0 {
+					damped[s] = f/2 + 1
+				}
+			}
+			return huffmanCodeLengths(damped)
+		}
+	}
+	return lengths
+}
+
+type huffCode struct {
+	code uint16
+	len  uint8
+}
+
+// canonicalCodes assigns canonical codes (shortest first, then by symbol).
+// Codes are emitted LSB-first in the bitstream, so the stored code is the
+// bit-reversed canonical value.
+func canonicalCodes(lengths []byte) [256]huffCode {
+	type sl struct {
+		sym int
+		l   byte
+	}
+	var order []sl
+	for s, l := range lengths {
+		if l > 0 {
+			order = append(order, sl{s, l})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].l != order[j].l {
+			return order[i].l < order[j].l
+		}
+		return order[i].sym < order[j].sym
+	})
+	var codes [256]huffCode
+	code := uint16(0)
+	prevLen := byte(0)
+	for _, e := range order {
+		code <<= uint(e.l - prevLen)
+		prevLen = e.l
+		codes[e.sym] = huffCode{code: reverseBits(code, e.l), len: e.l}
+		code++
+	}
+	return codes
+}
+
+func reverseBits(v uint16, n byte) uint16 {
+	var out uint16
+	for i := byte(0); i < n; i++ {
+		out = out<<1 | v&1
+		v >>= 1
+	}
+	return out
+}
+
+type heapItem struct {
+	w   uint64
+	idx int
+}
+
+type nodeHeap []heapItem
+
+func (h nodeHeap) Len() int      { return len(h) }
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].w != h[j].w {
+		return h[i].w < h[j].w
+	}
+	return h[i].idx < h[j].idx // deterministic ties
+}
+func (h *nodeHeap) Push(x any) { *h = append(*h, x.(heapItem)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

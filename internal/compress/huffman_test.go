@@ -1,0 +1,115 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+func TestHuffmanRoundTripProperty(t *testing.T) {
+	f := func(src []byte) bool {
+		got, err := HuffmanDecompress(HuffmanCompress(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHuffmanEmpty(t *testing.T) {
+	got, err := HuffmanDecompress(HuffmanCompress(nil))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty round trip: %v, %v", got, err)
+	}
+}
+
+func TestHuffmanSingleSymbol(t *testing.T) {
+	src := bytes.Repeat([]byte{42}, 500)
+	c := HuffmanCompress(src)
+	got, err := HuffmanDecompress(c)
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatal("single-symbol round trip failed")
+	}
+	// 500 × 1 bit ≈ 63 bytes of payload after the 260-byte header.
+	if len(c) > 260+70 {
+		t.Errorf("single-symbol stream uses %d bytes", len(c))
+	}
+}
+
+// TestHuffmanCompressesLowEntropy: a 5-symbol delta stream must compress
+// close to its entropy (~2.3 bits/symbol), which LZSS cannot do.
+func TestHuffmanCompressesLowEntropy(t *testing.T) {
+	rng := xrand.New(11)
+	src := make([]byte, 8192)
+	for i := range src {
+		src[i] = byte(int8(rng.Intn(5) - 2)) // -2..2 as bytes
+	}
+	c := HuffmanCompress(src)
+	payload := len(c) - 260
+	bitsPerSym := 8 * float64(payload) / float64(len(src))
+	if bitsPerSym > 2.7 {
+		t.Errorf("5-symbol stream coded at %.2f bits/symbol, want < 2.7", bitsPerSym)
+	}
+	lz := Compress(src)
+	if len(c) >= len(lz) {
+		t.Logf("note: LZSS %d vs Huffman %d on this input", len(lz), len(c))
+	}
+	got, err := HuffmanDecompress(c)
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestHuffmanRandomData(t *testing.T) {
+	rng := xrand.New(13)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = rng.Byte()
+	}
+	c := HuffmanCompress(src)
+	got, err := HuffmanDecompress(c)
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatal("random round trip failed")
+	}
+	// Uniform bytes cannot compress; overhead is the 260-byte header.
+	if len(c) > len(src)+300 {
+		t.Errorf("random data blew up to %d bytes", len(c))
+	}
+}
+
+func TestHuffmanCorrupt(t *testing.T) {
+	if _, err := HuffmanDecompress([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Valid header claiming more symbols than the bitstream holds.
+	src := HuffmanCompress([]byte{1, 2, 3, 4})
+	src = src[:len(src)-1]
+	if _, err := HuffmanDecompress(src); err == nil {
+		t.Error("truncated bitstream accepted")
+	}
+}
+
+func TestCanonicalCodesPrefixFree(t *testing.T) {
+	rng := xrand.New(17)
+	freq := make([]uint64, 256)
+	for i := range freq {
+		freq[i] = uint64(rng.Intn(1000))
+	}
+	lengths := huffmanCodeLengths(freq)
+	codes := canonicalCodes(lengths)
+	// No code may be a prefix of another (compare in LSB-first space).
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			ca, cb := codes[a], codes[b]
+			if a == b || ca.len == 0 || cb.len == 0 || ca.len > cb.len {
+				continue
+			}
+			mask := uint16(1)<<ca.len - 1
+			if ca.code == cb.code&mask {
+				t.Fatalf("code of %d (len %d) is a prefix of %d (len %d)", a, ca.len, b, cb.len)
+			}
+		}
+	}
+}

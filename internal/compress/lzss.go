@@ -1,0 +1,158 @@
+// Package compress implements the MCU-grade compression the paper's
+// related work applies to flash traffic (§VII: "compression has been
+// explored to reduce the total memory traffic, and therefore number of
+// erases needed"). It provides an LZSS codec with a small window (the
+// heatshrink-style configuration embedded systems actually deploy) and a
+// delta prefilter that makes slowly drifting sensor records compressible.
+//
+// The exp-related experiment uses it as another exact baseline against
+// FlipBit: compression shrinks the bytes written, FlipBit removes erases —
+// different levers, composable in principle.
+package compress
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LZSS parameters: a 256-byte sliding window and 3..18-byte matches, so
+// every back-reference fits two bytes (8-bit distance, 4-bit length).
+const (
+	windowSize = 256
+	minMatch   = 3
+	maxMatch   = minMatch + 15
+)
+
+// ErrCorrupt is returned when decompressing malformed data.
+var ErrCorrupt = errors.New("compress: corrupt LZSS stream")
+
+// Compress encodes src. The format is a sequence of groups: one control
+// byte whose bits (LSB first) mark the following 8 items as literal (1) or
+// back-reference (0); a literal is one byte, a reference is two bytes
+// (distance-1, then length-minMatch in the low nibble).
+//
+// Worst case output is ceil(n/8) control bytes + n literals.
+func Compress(src []byte) []byte {
+	out := make([]byte, 0, len(src)+len(src)/8+1)
+	var (
+		ctrlPos int
+		ctrlBit uint
+	)
+	newGroup := func() {
+		ctrlPos = len(out)
+		out = append(out, 0)
+		ctrlBit = 0
+	}
+	newGroup()
+	emit := func(isLiteral bool, bytes ...byte) {
+		if ctrlBit == 8 {
+			newGroup()
+		}
+		if isLiteral {
+			out[ctrlPos] |= 1 << ctrlBit
+		}
+		ctrlBit++
+		out = append(out, bytes...)
+	}
+
+	for i := 0; i < len(src); {
+		dist, length := findMatch(src, i)
+		if length >= minMatch {
+			emit(false, byte(dist-1), byte(length-minMatch))
+			i += length
+		} else {
+			emit(true, src[i])
+			i++
+		}
+	}
+	return out
+}
+
+// findMatch searches the window behind position i for the longest match.
+func findMatch(src []byte, i int) (dist, length int) {
+	start := i - windowSize
+	if start < 0 {
+		start = 0
+	}
+	limit := len(src) - i
+	if limit > maxMatch {
+		limit = maxMatch
+	}
+	for j := start; j < i; j++ {
+		l := 0
+		// Matches may overlap the current position (classic LZ);
+		// comparing against src directly is valid because the decoder
+		// reproduces src byte by byte.
+		for l < limit && src[j+l] == src[i+l] {
+			l++
+		}
+		if l > length {
+			dist, length = i-j, l
+		}
+	}
+	return dist, length
+}
+
+// Decompress decodes an LZSS stream produced by Compress.
+func Decompress(src []byte) ([]byte, error) {
+	var out []byte
+	i := 0
+	for i < len(src) {
+		ctrl := src[i]
+		i++
+		for bit := uint(0); bit < 8 && i < len(src); bit++ {
+			if ctrl&(1<<bit) != 0 {
+				out = append(out, src[i])
+				i++
+				continue
+			}
+			if i+1 >= len(src) {
+				return nil, fmt.Errorf("%w: truncated reference at %d", ErrCorrupt, i)
+			}
+			dist := int(src[i]) + 1
+			length := int(src[i+1]) + minMatch
+			i += 2
+			if dist > len(out) {
+				return nil, fmt.Errorf("%w: reference past start (dist %d, have %d)", ErrCorrupt, dist, len(out))
+			}
+			from := len(out) - dist
+			for k := 0; k < length; k++ {
+				out = append(out, out[from+k])
+			}
+		}
+	}
+	return out, nil
+}
+
+// DeltaEncode replaces each byte with its difference from the previous one
+// (mod 256). Slowly drifting sensor data becomes runs of near-zero bytes,
+// which LZSS then folds up.
+func DeltaEncode(src []byte) []byte {
+	out := make([]byte, len(src))
+	var prev byte
+	for i, b := range src {
+		out[i] = b - prev
+		prev = b
+	}
+	return out
+}
+
+// DeltaDecode inverts DeltaEncode.
+func DeltaDecode(src []byte) []byte {
+	out := make([]byte, len(src))
+	var acc byte
+	for i, d := range src {
+		acc += d
+		out[i] = acc
+	}
+	return out
+}
+
+// Ratio returns compressedLen/originalLen (1.0 = incompressible; > 1
+// means expansion).
+func Ratio(original, compressed int) float64 {
+	if original == 0 {
+		return 1
+	}
+	return float64(compressed) / float64(original)
+}

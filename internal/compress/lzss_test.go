@@ -1,0 +1,127 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+// TestRoundTripProperty: Decompress(Compress(x)) == x for arbitrary input.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(src []byte) bool {
+		got, err := Decompress(Compress(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	got, err := Decompress(Compress(nil))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty round trip: %v, %v", got, err)
+	}
+}
+
+func TestCompressesRepetition(t *testing.T) {
+	src := bytes.Repeat([]byte{0xAB}, 1000)
+	c := Compress(src)
+	if Ratio(len(src), len(c)) > 0.15 {
+		t.Errorf("1000 identical bytes compressed to %d (ratio %.2f)", len(c), Ratio(len(src), len(c)))
+	}
+	got, err := Decompress(c)
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatal("round trip failed on repetition")
+	}
+}
+
+func TestCompressesPattern(t *testing.T) {
+	pattern := []byte("sensor-frame-0001;")
+	src := bytes.Repeat(pattern, 50)
+	c := Compress(src)
+	if Ratio(len(src), len(c)) > 0.3 {
+		t.Errorf("repeating pattern ratio %.2f, expected < 0.3", Ratio(len(src), len(c)))
+	}
+}
+
+// TestExpansionBound: incompressible data grows by at most 1/8 + 1 byte.
+func TestExpansionBound(t *testing.T) {
+	rng := xrand.New(3)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = rng.Byte()
+	}
+	c := Compress(src)
+	maxLen := len(src) + len(src)/8 + 2
+	if len(c) > maxLen {
+		t.Errorf("random data expanded to %d, bound %d", len(c), maxLen)
+	}
+	got, err := Decompress(c)
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatal("round trip failed on random data")
+	}
+}
+
+// TestOverlappedMatch: RLE-style overlapping references must decode
+// correctly (the classic LZ pitfall).
+func TestOverlappedMatch(t *testing.T) {
+	src := append([]byte{1, 2}, bytes.Repeat([]byte{7}, 100)...)
+	got, err := Decompress(Compress(src))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatal("overlapped match round trip failed")
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	// Control byte says "reference" but only one byte follows.
+	if _, err := Decompress([]byte{0x00, 0x05}); err == nil {
+		t.Error("truncated reference accepted")
+	}
+	// Reference pointing before the start of output.
+	if _, err := Decompress([]byte{0x00, 0xFF, 0x00}); err == nil {
+		t.Error("out-of-range distance accepted")
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	f := func(src []byte) bool {
+		return bytes.Equal(DeltaDecode(DeltaEncode(src)), src)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeltaMakesDriftCompressible: the delta prefilter must dramatically
+// improve compression of slowly drifting data.
+func TestDeltaMakesDriftCompressible(t *testing.T) {
+	rng := xrand.New(5)
+	src := make([]byte, 2048)
+	v := byte(100)
+	for i := range src {
+		v += byte(rng.Intn(3)) - 1
+		src[i] = v
+	}
+	plain := len(Compress(src))
+	delta := len(Compress(DeltaEncode(src)))
+	if delta >= plain {
+		t.Errorf("delta+LZSS (%d) not smaller than LZSS alone (%d)", delta, plain)
+	}
+	// And the pipeline must round trip.
+	d, err := Decompress(Compress(DeltaEncode(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(DeltaDecode(d), src) {
+		t.Fatal("delta+LZSS pipeline corrupted data")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(100, 50) != 0.5 || Ratio(0, 10) != 1 {
+		t.Error("Ratio arithmetic wrong")
+	}
+}

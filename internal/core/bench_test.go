@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/flipbit-sim/flipbit/internal/flash"
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+// Commit-path micro-benchmarks: the per-page session cost bounds how fast
+// the workload experiments can run.
+
+func benchDevice(b *testing.B, threshold float64) (*Device, []byte, []byte) {
+	b.Helper()
+	spec := flash.DefaultSpec()
+	spec.NumPages = 16
+	d := MustNewDevice(spec)
+	if err := d.SetApproxRegion(0, spec.Size()); err != nil {
+		b.Fatal(err)
+	}
+	d.SetThreshold(threshold)
+	rng := xrand.New(9)
+	a := make([]byte, spec.PageSize)
+	c := make([]byte, spec.PageSize)
+	for i := range a {
+		a[i] = rng.Byte()
+		c[i] = byte(int(a[i]) + rng.Intn(5) - 2) // near neighbour
+	}
+	return d, a, c
+}
+
+// BenchmarkApproxCommit measures a page session that commits erase-free.
+func BenchmarkApproxCommit(b *testing.B) {
+	d, a, c := benchDevice(b, 255) // always approximate
+	if err := d.Write(0, a); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := a
+		if i%2 == 1 {
+			buf = c
+		}
+		if err := d.Write(0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactCommit measures a page session that erases every time.
+func BenchmarkExactCommit(b *testing.B) {
+	d, a, c := benchDevice(b, 0)
+	for i := range c {
+		c[i] = ^a[i] // force erases
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := a
+		if i%2 == 1 {
+			buf = c
+		}
+		if err := d.Write(0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/flipbit-sim/flipbit/internal/approx"
+	"github.com/flipbit-sim/flipbit/internal/bits"
+	"github.com/flipbit-sim/flipbit/internal/flash"
+)
+
+// ErrorMetric selects the page-error statistic compared against the
+// threshold register. The paper uses MAE because it is cheaper in hardware
+// than MSE (§III-A4); MSE exists for the ablation bench.
+type ErrorMetric int
+
+// Supported error metrics.
+const (
+	MetricMAE ErrorMetric = iota
+	MetricMSE
+)
+
+func (m ErrorMetric) String() string {
+	if m == MetricMSE {
+		return "MSE"
+	}
+	return "MAE"
+}
+
+// FallbackPolicy selects when a page abandons approximation and performs an
+// exact erase-and-program. The paper gates on the mean error of the page;
+// the per-value policy (ablation) falls back as soon as any single value
+// exceeds the threshold.
+type FallbackPolicy int
+
+// Supported fallback policies.
+const (
+	FallbackPerPage FallbackPolicy = iota
+	FallbackPerValue
+)
+
+func (p FallbackPolicy) String() string {
+	if p == FallbackPerValue {
+		return "per-value"
+	}
+	return "per-page"
+}
+
+// Stats aggregates the controller's decisions across committed pages.
+type Stats struct {
+	PagesApprox uint64 // pages committed with programs only (no erase)
+	PagesExact  uint64 // pages that fell back to erase + exact program
+
+	ValuesApproximated uint64 // values where approx != exact
+	ValuesTotal        uint64 // values considered by the error check
+	ErrorSum           uint64 // accumulated |exact - approx| over ValuesTotal
+}
+
+// MAE returns the mean absolute error introduced across all checked values.
+func (s Stats) MAE() float64 {
+	if s.ValuesTotal == 0 {
+		return 0
+	}
+	return float64(s.ErrorSum) / float64(s.ValuesTotal)
+}
+
+// Device is a flash chip with the FlipBit controller attached. All writes
+// go through the dual-buffer commit path of §III-B; reads pass straight
+// through to the flash array.
+type Device struct {
+	fl   *flash.Device
+	regs registerFile
+	enc  approx.Encoder
+
+	metric   ErrorMetric
+	fallback FallbackPolicy
+
+	stats Stats
+}
+
+// Option configures a Device at construction.
+type Option func(*Device)
+
+// WithEncoder selects the approximation encoder (default: 2-bit n-bit
+// algorithm, the configuration the paper evaluates most).
+func WithEncoder(e approx.Encoder) Option { return func(d *Device) { d.enc = e } }
+
+// WithErrorMetric selects MAE (default) or MSE page gating.
+func WithErrorMetric(m ErrorMetric) Option { return func(d *Device) { d.metric = m } }
+
+// WithFallbackPolicy selects per-page (default) or per-value fallback.
+func WithFallbackPolicy(p FallbackPolicy) Option { return func(d *Device) { d.fallback = p } }
+
+// NewDevice builds a FlipBit device over a fresh flash array described by
+// spec. The controller starts with approximation disabled (empty region),
+// width 8 and threshold 0.
+func NewDevice(spec flash.Spec, opts ...Option) (*Device, error) {
+	fl, err := flash.NewDevice(spec)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		fl:  fl,
+		enc: approx.MustNBit(2),
+	}
+	d.regs[RegWidth] = uint32(bits.W8)
+	for _, o := range opts {
+		o(d)
+	}
+	return d, nil
+}
+
+// MustNewDevice is NewDevice for configurations known to be valid.
+func MustNewDevice(spec flash.Spec, opts ...Option) *Device {
+	d, err := NewDevice(spec, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Flash exposes the underlying flash device for statistics and inspection.
+func (d *Device) Flash() *flash.Device { return d.fl }
+
+// Stats returns a snapshot of the controller's decision counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats clears both controller and flash statistics.
+func (d *Device) ResetStats() {
+	d.stats = Stats{}
+	d.fl.ResetStats()
+}
+
+// Encoder returns the configured approximation encoder.
+func (d *Device) Encoder() approx.Encoder { return d.enc }
+
+// SetEncoder swaps the approximation encoder at run time (the synthesized
+// hardware is run-time configurable for n = 1..8, §III-B).
+func (d *Device) SetEncoder(e approx.Encoder) { d.enc = e }
+
+// --- Memory-mapped register interface (§III-C) ---
+
+// WriteReg stores val into register r. The width register validates its
+// encoding (the hardware decodes it combinationally); the region registers
+// accept any value — a half-configured or inconsistent region simply marks
+// nothing approximatable until both registers are coherent, so the order of
+// MMIO writes does not matter.
+func (d *Device) WriteReg(r Reg, val uint32) error {
+	switch r {
+	case RegApproxStart, RegApproxEnd:
+		d.regs[r] = val
+		return nil
+	case RegWidth:
+		if _, err := widthFromReg(val); err != nil {
+			return err
+		}
+		d.regs[r] = val
+		return nil
+	case RegThreshold:
+		d.regs[r] = val
+		return nil
+	default:
+		return fmt.Errorf("%w: %d", ErrBadReg, int(r))
+	}
+}
+
+// ReadReg returns the raw value of register r (0 for unknown registers,
+// matching reads of unmapped MMIO).
+func (d *Device) ReadReg(r Reg) uint32 {
+	if r < 0 || r >= numRegs {
+		return 0
+	}
+	return d.regs[r]
+}
+
+func (d *Device) validateRegion() error {
+	start, end := int(d.regs[RegApproxStart]), int(d.regs[RegApproxEnd])
+	ps := d.fl.Spec().PageSize
+	if start > end || end > d.fl.Spec().Size() || start%ps != 0 || end%ps != 0 {
+		return fmt.Errorf("%w: [%#x, %#x)", ErrBadRegion, start, end)
+	}
+	return nil
+}
+
+// --- Convenience configuration (what setApproxThreshold() and the linker
+// script of Listing 1/2 boil down to) ---
+
+// SetApproxRegion marks [start, end) as approximatable. Both bounds must be
+// page aligned. Setting an empty region disables approximation.
+func (d *Device) SetApproxRegion(start, end int) error {
+	old0, old1 := d.regs[RegApproxStart], d.regs[RegApproxEnd]
+	d.regs[RegApproxStart] = uint32(start)
+	d.regs[RegApproxEnd] = uint32(end)
+	if err := d.validateRegion(); err != nil {
+		d.regs[RegApproxStart], d.regs[RegApproxEnd] = old0, old1
+		return err
+	}
+	return nil
+}
+
+// SetWidth configures the value width used for approximation and error
+// accounting.
+func (d *Device) SetWidth(w bits.Width) error {
+	return d.WriteReg(RegWidth, uint32(w))
+}
+
+// Width returns the configured value width.
+func (d *Device) Width() bits.Width {
+	w, _ := widthFromReg(d.regs[RegWidth])
+	return w
+}
+
+// SetThreshold sets the error threshold (MAE or MSE depending on metric) in
+// value units. This is the library equivalent of setApproxThreshold() in
+// Listing 1. Thresholds at or above 65536 saturate the Q16.16 register to
+// ThresholdUnlimited, which disables the error gate.
+func (d *Device) SetThreshold(t float64) {
+	d.regs[RegThreshold] = ThresholdToFixed(t)
+}
+
+// Threshold returns the configured error threshold in value units.
+func (d *Device) Threshold() float64 {
+	return FixedToThreshold(d.regs[RegThreshold])
+}
+
+// Approximatable reports whether the given page lies entirely in the
+// configured approximatable region. An incoherent region configuration
+// (inverted, misaligned or out of range) marks nothing approximatable.
+func (d *Device) Approximatable(page int) bool {
+	if d.validateRegion() != nil {
+		return false
+	}
+	start, end := int(d.regs[RegApproxStart]), int(d.regs[RegApproxEnd])
+	base := d.fl.PageBase(page)
+	return base >= start && base+d.fl.Spec().PageSize <= end
+}
+
+// --- Data path ---
+
+// Read fills dst from flash starting at addr (random access, as NOR
+// supports; §II-C).
+func (d *Device) Read(addr int, dst []byte) error {
+	return d.fl.Read(addr, dst)
+}
+
+// Write stores data at addr through the FlipBit commit path, splitting the
+// access into page-sized sessions. Pages inside the approximatable region
+// may be written approximately; all other pages are written exactly (with
+// an erase only when physically required).
+//
+// A worn-out page reports flash.ErrWornOut but the write is still performed
+// best-effort, so callers can continue and observe degraded data — exactly
+// how a deployed device fails.
+func (d *Device) Write(addr int, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	ps := d.fl.Spec().PageSize
+	var wornOut error
+	for len(data) > 0 {
+		page := d.fl.PageOf(addr)
+		off := addr - d.fl.PageBase(page)
+		n := ps - off
+		if n > len(data) {
+			n = len(data)
+		}
+		if err := d.commitPage(page, off, data[:n]); err != nil {
+			if errors.Is(err, flash.ErrWornOut) {
+				wornOut = err
+			} else {
+				return err
+			}
+		}
+		addr += n
+		data = data[n:]
+	}
+	return wornOut
+}
+
+// commitPage runs one dual-buffer write session (§III-B "System
+// Integration") for a single page: off/data describe the bytes the CPU
+// stores into the exact buffer.
+func (d *Device) commitPage(page, off int, data []byte) error {
+	fl := d.fl
+	// Step 1: read the page into buffer 0 and mirror it into buffer 1.
+	// One array read is charged; the mirror is an SRAM copy.
+	if err := fl.LoadBuffer(0, page); err != nil {
+		return err
+	}
+	exactBuf := fl.Buffer(0)
+	approxBuf := fl.Buffer(1)
+	previous := make([]byte, len(exactBuf))
+	copy(previous, exactBuf)
+	copy(approxBuf, exactBuf)
+
+	// Step 2: the CPU writes the exact values into buffer 0.
+	copy(exactBuf[off:], data)
+
+	if !d.Approximatable(page) {
+		return d.commitExact(page)
+	}
+
+	// Step 3: the approximation hardware rewrites buffer 1 value by
+	// value from (previous, exact), tracking error over the values the
+	// CPU actually touched.
+	w := d.Width()
+	vb := w.Bytes()
+	lo, hi := alignDown(off, vb), alignUp(off+len(data), vb)
+	if hi > len(exactBuf) {
+		hi = len(exactBuf)
+	}
+	var tracker approx.ErrorTracker
+	exceeded := false
+	unreachable := false
+	cellMode := fl.Spec().Cell
+	threshold := d.regs[RegThreshold]
+	approximated := uint64(0)
+	for i := lo; i < hi; i += vb {
+		prev := bits.LoadLE(previous[i:], w)
+		exact := bits.LoadLE(exactBuf[i:], w)
+		a := d.enc.Approximate(prev, exact, w)
+		bits.StoreLE(approxBuf[i:], a, w)
+		tracker.Add(exact, a)
+		if a != exact {
+			approximated++
+		}
+		// Encoders may return a value that is not reachable through
+		// program pulses when approximating it is unacceptable (e.g.
+		// the float32 encoder protecting sign/exponent bits, §VI);
+		// the hardware's per-page needs-erase signal forces the
+		// exact fallback in that case.
+		if !valueReachable(cellMode, prev, a, w) {
+			unreachable = true
+		}
+		if d.fallback == FallbackPerValue && threshold != ThresholdUnlimited &&
+			uint64(bits.AbsDiff(exact, a))<<ThresholdFracBits > uint64(threshold) {
+			exceeded = true
+		}
+	}
+
+	// Step 4: gate on the error threshold (Fig. 9 hardware).
+	if d.fallback == FallbackPerPage {
+		exceeded = d.overThreshold(&tracker, threshold)
+	}
+	if exceeded || unreachable {
+		d.stats.PagesExact++
+		return d.commitExactErase(page)
+	}
+
+	// Approximate commit: programs only, no erase possible by
+	// construction (every value is a bitwise subset of previous).
+	d.stats.PagesApprox++
+	d.stats.ValuesApproximated += approximated
+	d.stats.ValuesTotal += uint64(tracker.Count())
+	d.stats.ErrorSum += tracker.SumAbs()
+	return fl.ProgramFromBuffer(page, 1)
+}
+
+// ThresholdUnlimited is the all-ones threshold register value; it disables
+// the error gate entirely so every approximatable page commits erase-free.
+const ThresholdUnlimited = ^uint32(0)
+
+// overThreshold compares the page error statistic with the Q16.16 threshold
+// using integer arithmetic, as the accumulator hardware would.
+func (d *Device) overThreshold(tr *approx.ErrorTracker, threshold uint32) bool {
+	if tr.Count() == 0 || threshold == ThresholdUnlimited {
+		return false
+	}
+	switch d.metric {
+	case MetricMSE:
+		mse := tr.MSE()
+		return mse > FixedToThreshold(threshold)
+	default:
+		return tr.SumAbs()<<ThresholdFracBits > uint64(threshold)*uint64(tr.Count())
+	}
+}
+
+// commitExact writes buffer 0 to the page, erasing only if some bit needs a
+// 0→1 transition. This is the conventional (non-FlipBit) write path and the
+// fair baseline for every experiment.
+func (d *Device) commitExact(page int) error {
+	fl := d.fl
+	buf := fl.Buffer(0)
+	base := fl.PageBase(page)
+	mode := fl.Spec().Cell
+	needErase := false
+	for i, v := range buf {
+		if !mode.Reachable(fl.Peek(base+i), v) {
+			needErase = true
+			break
+		}
+	}
+	if !needErase {
+		return fl.ProgramFromBuffer(page, 0)
+	}
+	return fl.EraseProgramFromBuffer(page, 0)
+}
+
+// commitExactErase is the approximation-failure fallback: §III-B specifies
+// an exact write to an erased page.
+func (d *Device) commitExactErase(page int) error {
+	return d.fl.EraseProgramFromBuffer(page, 0)
+}
+
+// valueReachable reports whether a width-w value can move from `from` to
+// `to` with program pulses only, byte by byte under the cell mode.
+func valueReachable(m flash.CellMode, from, to uint32, w bits.Width) bool {
+	for i := 0; i < w.Bytes(); i++ {
+		if !m.Reachable(byte(from>>uint(8*i)), byte(to>>uint(8*i))) {
+			return false
+		}
+	}
+	return true
+}
+
+func alignDown(v, a int) int { return v - v%a }
+
+func alignUp(v, a int) int {
+	if r := v % a; r != 0 {
+		return v + a - r
+	}
+	return v
+}

@@ -1,0 +1,436 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/flipbit-sim/flipbit/internal/approx"
+	"github.com/flipbit-sim/flipbit/internal/bits"
+	"github.com/flipbit-sim/flipbit/internal/flash"
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+func testSpec() flash.Spec {
+	s := flash.DefaultSpec()
+	s.PageSize = 32
+	s.NumPages = 16
+	return s
+}
+
+// newApproxDevice returns a device with its whole array approximatable,
+// width 8 and a generous threshold.
+func newApproxDevice(t *testing.T, threshold float64) *Device {
+	t.Helper()
+	d := MustNewDevice(testSpec())
+	if err := d.SetApproxRegion(0, d.Flash().Spec().Size()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetWidth(bits.W8); err != nil {
+		t.Fatal(err)
+	}
+	d.SetThreshold(threshold)
+	return d
+}
+
+func TestWriteReadRoundTripExactRegion(t *testing.T) {
+	d := MustNewDevice(testSpec()) // approximation disabled by default
+	data := []byte{1, 2, 3, 4, 255, 0, 128, 7}
+	if err := d.Write(5, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := d.Read(5, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], data[i])
+		}
+	}
+}
+
+func TestExactWritesNeverApproximate(t *testing.T) {
+	d := MustNewDevice(testSpec())
+	rng := xrand.New(3)
+	buf := make([]byte, 64)
+	for round := 0; round < 10; round++ {
+		for i := range buf {
+			buf[i] = rng.Byte()
+		}
+		if err := d.Write(0, buf); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(buf))
+		_ = d.Read(0, got)
+		for i := range buf {
+			if got[i] != buf[i] {
+				t.Fatalf("round %d: byte %d corrupted", round, i)
+			}
+		}
+	}
+	if d.Stats().PagesApprox != 0 {
+		t.Error("approximation happened outside the approx region")
+	}
+}
+
+// TestApproxWriteAvoidsErase: overwrite a page with values that are all
+// subsets of the previous content; no erase may occur.
+func TestApproxWriteAvoidsErase(t *testing.T) {
+	d := newApproxDevice(t, 255)
+	ps := d.Flash().Spec().PageSize
+	first := make([]byte, ps)
+	for i := range first {
+		first[i] = 0xF0
+	}
+	if err := d.Write(0, first); err != nil {
+		t.Fatal(err)
+	}
+	erasesAfterFirst := d.Flash().Stats().Erases
+	second := make([]byte, ps)
+	for i := range second {
+		second[i] = 0x70 // subset of 0xF0
+	}
+	if err := d.Write(0, second); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Flash().Stats().Erases; got != erasesAfterFirst {
+		t.Errorf("erases went %d → %d; subset write must not erase", erasesAfterFirst, got)
+	}
+	got := make([]byte, ps)
+	_ = d.Read(0, got)
+	for i := range got {
+		if got[i] != 0x70 {
+			t.Fatalf("byte %d = %#x, want 0x70", i, got[i])
+		}
+	}
+}
+
+// TestApproxWriteIntroducesBoundedError: with threshold T, the per-page MAE
+// of what lands in flash versus what was requested must be <= T.
+func TestApproxWriteIntroducesBoundedError(t *testing.T) {
+	const threshold = 8.0
+	d := newApproxDevice(t, threshold)
+	rng := xrand.New(17)
+	ps := d.Flash().Spec().PageSize
+	page := make([]byte, ps)
+	for round := 0; round < 50; round++ {
+		for i := range page {
+			page[i] = rng.Byte()
+		}
+		if err := d.Write(0, page); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, ps)
+		_ = d.Read(0, got)
+		var sum int
+		for i := range page {
+			diff := int(page[i]) - int(got[i])
+			if diff < 0 {
+				diff = -diff
+			}
+			sum += diff
+		}
+		mae := float64(sum) / float64(ps)
+		if mae > threshold {
+			t.Fatalf("round %d: page MAE %.2f exceeds threshold %v", round, mae, threshold)
+		}
+	}
+}
+
+// TestZeroThresholdMeansLossless: threshold 0 must make every write exact
+// (possibly via erase), never lossy.
+func TestZeroThresholdMeansLossless(t *testing.T) {
+	d := newApproxDevice(t, 0)
+	rng := xrand.New(23)
+	buf := make([]byte, 96)
+	for round := 0; round < 20; round++ {
+		for i := range buf {
+			buf[i] = rng.Byte()
+		}
+		if err := d.Write(32, buf); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(buf))
+		_ = d.Read(32, got)
+		for i := range buf {
+			if got[i] != buf[i] {
+				t.Fatalf("round %d byte %d: lossy write at threshold 0", round, i)
+			}
+		}
+	}
+}
+
+// TestHighThresholdEliminatesErases: with a saturated threshold every
+// rewrite of the same region must avoid erases entirely after the first.
+func TestHighThresholdEliminatesErases(t *testing.T) {
+	d := newApproxDevice(t, 255)
+	rng := xrand.New(29)
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = rng.Byte()
+	}
+	_ = d.Write(0, buf)
+	erases := d.Flash().Stats().Erases
+	for round := 0; round < 30; round++ {
+		for i := range buf {
+			buf[i] = rng.Byte()
+		}
+		_ = d.Write(0, buf)
+	}
+	if got := d.Flash().Stats().Erases; got != erases {
+		t.Errorf("erases grew %d → %d despite saturated threshold", erases, got)
+	}
+	if d.Stats().PagesApprox == 0 {
+		t.Error("no pages were approximated")
+	}
+}
+
+func TestWidth16And32(t *testing.T) {
+	for _, w := range []bits.Width{bits.W16, bits.W32} {
+		d := newApproxDevice(t, 1<<20) // huge threshold: always approximate
+		if err := d.SetWidth(w); err != nil {
+			t.Fatal(err)
+		}
+		rng := xrand.New(uint64(w))
+		buf := make([]byte, 32)
+		for i := range buf {
+			buf[i] = rng.Byte()
+		}
+		if err := d.Write(0, buf); err != nil {
+			t.Fatal(err)
+		}
+		for i := range buf {
+			buf[i] = rng.Byte()
+		}
+		if err := d.Write(0, buf); err != nil {
+			t.Fatal(err)
+		}
+		// Every width-sized stored value must be a subset of what was
+		// there before — impossible to check after the fact here, but
+		// the flash device would have rejected any 0→1 program, so
+		// reaching this point with zero erases beyond the first write
+		// proves the invariant held.
+		if d.Stats().PagesExact != 0 {
+			t.Errorf("width %v: unexpected exact fallback", w)
+		}
+	}
+}
+
+func TestRegisterInterface(t *testing.T) {
+	d := MustNewDevice(testSpec())
+	if err := d.WriteReg(RegWidth, 16); err != nil {
+		t.Fatal(err)
+	}
+	if d.Width() != bits.W16 {
+		t.Error("width register did not take")
+	}
+	if err := d.WriteReg(RegWidth, 12); !errors.Is(err, ErrBadWidth) {
+		t.Errorf("invalid width accepted: %v", err)
+	}
+	d.SetThreshold(2.5)
+	if got := d.Threshold(); got != 2.5 {
+		t.Errorf("threshold round trip = %v", got)
+	}
+	if got := d.ReadReg(RegThreshold); got != ThresholdToFixed(2.5) {
+		t.Errorf("raw threshold = %#x", got)
+	}
+	if d.ReadReg(Reg(99)) != 0 {
+		t.Error("unmapped register should read 0")
+	}
+	if err := d.WriteReg(Reg(99), 1); !errors.Is(err, ErrBadReg) {
+		t.Error("unmapped register write should fail")
+	}
+}
+
+func TestRegionValidation(t *testing.T) {
+	d := MustNewDevice(testSpec())
+	ps := d.Flash().Spec().PageSize
+	if err := d.SetApproxRegion(ps, 3*ps); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Approximatable(1) || !d.Approximatable(2) {
+		t.Error("pages 1,2 should be approximatable")
+	}
+	if d.Approximatable(0) || d.Approximatable(3) {
+		t.Error("pages 0,3 should not be approximatable")
+	}
+	// Misaligned, inverted and oversized regions must be rejected and
+	// leave the old configuration in place.
+	for _, bad := range [][2]int{{1, ps}, {ps, ps + 1}, {2 * ps, ps}, {0, d.Flash().Spec().Size() + ps}} {
+		if err := d.SetApproxRegion(bad[0], bad[1]); !errors.Is(err, ErrBadRegion) {
+			t.Errorf("region %v accepted: %v", bad, err)
+		}
+	}
+	if !d.Approximatable(1) {
+		t.Error("failed configuration clobbered the previous region")
+	}
+}
+
+func TestThresholdFixedPoint(t *testing.T) {
+	cases := []float64{0, 0.1, 1, 2, 100, 65535}
+	for _, c := range cases {
+		got := FixedToThreshold(ThresholdToFixed(c))
+		if diff := got - c; diff > 1e-4 || diff < -1e-4 {
+			t.Errorf("threshold %v round-tripped to %v", c, got)
+		}
+	}
+	if ThresholdToFixed(-1) != 0 {
+		t.Error("negative threshold should clamp to 0")
+	}
+	if ThresholdToFixed(1e12) != ^uint32(0) {
+		t.Error("huge threshold should saturate")
+	}
+}
+
+func TestPerValueFallbackStricter(t *testing.T) {
+	// A page where one value is far off but the mean is small: per-page
+	// accepts, per-value falls back.
+	run := func(policy FallbackPolicy) Stats {
+		d := MustNewDevice(testSpec(), WithFallbackPolicy(policy))
+		_ = d.SetApproxRegion(0, d.Flash().Spec().Size())
+		_ = d.SetWidth(bits.W8)
+		d.SetThreshold(4)
+		ps := d.Flash().Spec().PageSize
+		first := make([]byte, ps)
+		// Previous content 0x00 everywhere: every rewrite to non-zero
+		// values is unreachable and approximates to 0.
+		_ = d.Write(0, first)
+		second := make([]byte, ps)
+		second[0] = 200 // error 200 on one value; mean 200/32 ≈ 6… adjust below
+		_ = d.Write(0, second)
+		return d.Stats()
+	}
+	// mean = 200/32 = 6.25 > 4 — both fall back; use a smaller outlier.
+	runSmall := func(policy FallbackPolicy) Stats {
+		d := MustNewDevice(testSpec(), WithFallbackPolicy(policy))
+		_ = d.SetApproxRegion(0, d.Flash().Spec().Size())
+		_ = d.SetWidth(bits.W8)
+		d.SetThreshold(4)
+		ps := d.Flash().Spec().PageSize
+		_ = d.Write(0, make([]byte, ps))
+		second := make([]byte, ps)
+		second[0] = 100 // single error 100, mean 100/32 ≈ 3.1 < 4
+		_ = d.Write(0, second)
+		return d.Stats()
+	}
+	_ = run
+	page := runSmall(FallbackPerPage)
+	value := runSmall(FallbackPerValue)
+	if page.PagesExact != 0 || page.PagesApprox != 2 {
+		t.Errorf("per-page stats = %+v", page)
+	}
+	if value.PagesExact != 1 {
+		t.Errorf("per-value stats = %+v; outlier should force fallback", value)
+	}
+}
+
+func TestMSEMetric(t *testing.T) {
+	d := MustNewDevice(testSpec(), WithErrorMetric(MetricMSE))
+	_ = d.SetApproxRegion(0, d.Flash().Spec().Size())
+	_ = d.SetWidth(bits.W8)
+	// MSE threshold 4 corresponds to RMS error 2.
+	d.SetThreshold(4)
+	ps := d.Flash().Spec().PageSize
+	_ = d.Write(0, make([]byte, ps)) // zero page
+	buf := make([]byte, ps)
+	for i := range buf {
+		buf[i] = 3 // per-value error 3 → MSE 9 > 4 → fallback
+	}
+	_ = d.Write(0, buf)
+	if d.Stats().PagesExact != 1 {
+		t.Errorf("MSE gating did not fall back: %+v", d.Stats())
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d := newApproxDevice(t, 255)
+	ps := d.Flash().Spec().PageSize
+	_ = d.Write(0, make([]byte, ps))
+	buf := make([]byte, ps)
+	for i := range buf {
+		buf[i] = 5
+	}
+	_ = d.Write(0, buf) // previous 0x00 → approximates everything to 0
+	st := d.Stats()
+	if st.ValuesApproximated == 0 || st.ErrorSum == 0 {
+		t.Errorf("stats did not accumulate: %+v", st)
+	}
+	// First write is error-free (erased page → zeros is reachable); the
+	// second is off by 5 on every value, so the running MAE is 2.5.
+	if st.MAE() != 2.5 {
+		t.Errorf("MAE = %v, want 2.5", st.MAE())
+	}
+	d.ResetStats()
+	if d.Stats() != (Stats{}) || d.Flash().Stats() != (flash.Stats{}) {
+		t.Error("ResetStats incomplete")
+	}
+}
+
+func TestWriteSpanningPages(t *testing.T) {
+	d := newApproxDevice(t, 0)
+	ps := d.Flash().Spec().PageSize
+	data := make([]byte, ps*3)
+	rng := xrand.New(31)
+	for i := range data {
+		data[i] = rng.Byte()
+	}
+	if err := d.Write(ps/2, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	_ = d.Read(ps/2, got)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d corrupted in multi-page write", i)
+		}
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	d := MustNewDevice(testSpec())
+	if err := d.Write(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.Flash().Stats() != (flash.Stats{}) {
+		t.Error("empty write should charge nothing")
+	}
+}
+
+func TestCustomEncoder(t *testing.T) {
+	d := MustNewDevice(testSpec(), WithEncoder(approx.OneBit{}))
+	if d.Encoder().Name() != "1-bit" {
+		t.Error("WithEncoder ignored")
+	}
+	d.SetEncoder(approx.MustNBit(4))
+	if d.Encoder().Name() != "4-bit" {
+		t.Error("SetEncoder ignored")
+	}
+}
+
+// TestWornOutPropagates: exhausting endurance on an exact-write-heavy page
+// must surface flash.ErrWornOut through Write.
+func TestWornOutPropagates(t *testing.T) {
+	s := testSpec()
+	s.EnduranceCycles = 10
+	d := MustNewDevice(s)
+	var sawWornOut bool
+	a, b := make([]byte, s.PageSize), make([]byte, s.PageSize)
+	for i := range a {
+		a[i], b[i] = 0x55, 0xAA // alternating patterns force an erase each time
+	}
+	for i := 0; i < 30; i++ {
+		buf := a
+		if i%2 == 1 {
+			buf = b
+		}
+		if err := d.Write(0, buf); err != nil {
+			if !errors.Is(err, flash.ErrWornOut) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			sawWornOut = true
+		}
+	}
+	if !sawWornOut {
+		t.Error("never observed wear-out")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+// TestIncoherentRegionDisablesApproximation: MMIO writes land in any order;
+// a half-configured or inverted region must simply mark nothing
+// approximatable rather than erroring or misbehaving.
+func TestIncoherentRegionDisablesApproximation(t *testing.T) {
+	d := MustNewDevice(testSpec())
+	ps := d.Flash().Spec().PageSize
+
+	// Start > end (mid-configuration state).
+	if err := d.WriteReg(RegApproxStart, uint32(2*ps)); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		if d.Approximatable(p) {
+			t.Errorf("page %d approximatable with inverted region", p)
+		}
+	}
+	// Writes through an incoherent region must stay exact.
+	d.SetThreshold(255)
+	buf := make([]byte, ps)
+	for i := range buf {
+		buf[i] = 0xAA
+	}
+	if err := d.Write(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().PagesApprox != 0 {
+		t.Error("approximation ran with an incoherent region")
+	}
+	// Completing the configuration enables it.
+	if err := d.WriteReg(RegApproxEnd, uint32(3*ps)); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Approximatable(2) {
+		t.Error("page 2 should be approximatable once both registers are set")
+	}
+
+	// Misaligned registers are also incoherent.
+	if err := d.WriteReg(RegApproxStart, 3); err != nil {
+		t.Fatal(err)
+	}
+	if d.Approximatable(0) || d.Approximatable(2) {
+		t.Error("misaligned region should disable approximation")
+	}
+}
+
+// TestThresholdUnlimitedDisablesGate: the all-ones register value commits
+// every approximatable page erase-free regardless of error.
+func TestThresholdUnlimitedDisablesGate(t *testing.T) {
+	d := MustNewDevice(testSpec())
+	_ = d.SetApproxRegion(0, d.Flash().Spec().Size())
+	if err := d.WriteReg(RegThreshold, ThresholdUnlimited); err != nil {
+		t.Fatal(err)
+	}
+	ps := d.Flash().Spec().PageSize
+	rng := xrand.New(3)
+	buf := make([]byte, ps)
+	_ = d.Write(0, buf) // zero page
+	for round := 0; round < 10; round++ {
+		for i := range buf {
+			buf[i] = rng.Byte()
+		}
+		if err := d.Write(0, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Stats().PagesExact != 0 {
+		t.Errorf("unlimited threshold still fell back %d times", d.Stats().PagesExact)
+	}
+	if d.Flash().Stats().Erases != 0 {
+		t.Errorf("unlimited threshold erased %d times", d.Flash().Stats().Erases)
+	}
+}
+
+func TestMetricAndPolicyStrings(t *testing.T) {
+	if MetricMAE.String() != "MAE" || MetricMSE.String() != "MSE" {
+		t.Error("metric strings")
+	}
+	if FallbackPerPage.String() != "per-page" || FallbackPerValue.String() != "per-value" {
+		t.Error("policy strings")
+	}
+}

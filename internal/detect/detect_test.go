@@ -1,0 +1,146 @@
+package detect
+
+import (
+	"testing"
+
+	"github.com/flipbit-sim/flipbit/internal/video"
+)
+
+// synthetic 32x32 frame with a bright square on a flat background.
+func frameWithSquare(x0, y0, size int, bg, fg byte) (video.Frame, video.Frame, video.Box) {
+	const w, h = 32, 32
+	f := make(video.Frame, w*h)
+	bgf := make(video.Frame, w*h)
+	for i := range f {
+		f[i] = bg
+		bgf[i] = bg
+	}
+	for y := y0; y < y0+size; y++ {
+		for x := x0; x < x0+size; x++ {
+			f[y*w+x] = fg
+		}
+	}
+	return f, bgf, video.Box{X0: x0, Y0: y0, X1: x0 + size, Y1: y0 + size}
+}
+
+func TestDetectFindsSquare(t *testing.T) {
+	f, bg, want := frameWithSquare(10, 12, 6, 100, 240)
+	boxes := Detect(f, bg, 32, 32, DefaultParams())
+	if len(boxes) != 1 {
+		t.Fatalf("found %d boxes, want 1: %v", len(boxes), boxes)
+	}
+	if boxes[0].IoU(want) < 0.7 {
+		t.Errorf("box %v has IoU %.2f with truth %v", boxes[0], boxes[0].IoU(want), want)
+	}
+}
+
+func TestDetectEmptyFrame(t *testing.T) {
+	f := make(video.Frame, 32*32)
+	for i := range f {
+		f[i] = 128
+	}
+	if boxes := Detect(f, f, 32, 32, DefaultParams()); len(boxes) != 0 {
+		t.Errorf("flat frame produced boxes: %v", boxes)
+	}
+}
+
+func TestDetectDarkObject(t *testing.T) {
+	f, bg, want := frameWithSquare(5, 5, 7, 180, 20)
+	boxes := Detect(f, bg, 32, 32, DefaultParams())
+	if len(boxes) != 1 || boxes[0].IoU(want) < 0.6 {
+		t.Errorf("dark object not detected: %v", boxes)
+	}
+}
+
+func TestDetectTwoObjects(t *testing.T) {
+	const w, h = 32, 32
+	f := make(video.Frame, w*h)
+	bg := make(video.Frame, w*h)
+	for i := range f {
+		f[i] = 100
+		bg[i] = 100
+	}
+	for y := 3; y < 9; y++ {
+		for x := 3; x < 9; x++ {
+			f[y*w+x] = 250
+		}
+	}
+	for y := 20; y < 27; y++ {
+		for x := 22; x < 28; x++ {
+			f[y*w+x] = 250
+		}
+	}
+	boxes := Detect(f, bg, w, h, DefaultParams())
+	if len(boxes) != 2 {
+		t.Fatalf("found %d boxes, want 2: %v", len(boxes), boxes)
+	}
+}
+
+func TestMinAreaFilter(t *testing.T) {
+	f, bg, _ := frameWithSquare(10, 10, 2, 100, 250) // 4 px < MinArea 8
+	if boxes := Detect(f, bg, 32, 32, DefaultParams()); len(boxes) != 0 {
+		t.Errorf("tiny blob should be filtered: %v", boxes)
+	}
+}
+
+func TestMatchPerfect(t *testing.T) {
+	boxes := []video.Box{{X0: 1, Y0: 1, X1: 6, Y1: 6}, {X0: 10, Y0: 10, X1: 16, Y1: 16}}
+	var c Counts
+	c.Match(boxes, boxes, 0.5)
+	if c.TP != 2 || c.FP != 0 || c.FN != 0 {
+		t.Errorf("counts = %+v", c)
+	}
+	if c.F1() != 1 {
+		t.Errorf("F1 = %v", c.F1())
+	}
+}
+
+func TestMatchMisses(t *testing.T) {
+	ref := []video.Box{{X0: 1, Y0: 1, X1: 6, Y1: 6}}
+	pred := []video.Box{{X0: 20, Y0: 20, X1: 26, Y1: 26}}
+	var c Counts
+	c.Match(pred, ref, 0.5)
+	if c.TP != 0 || c.FP != 1 || c.FN != 1 {
+		t.Errorf("counts = %+v", c)
+	}
+	if c.F1() != 0 {
+		t.Errorf("F1 = %v", c.F1())
+	}
+}
+
+func TestMatchGreedyOneToOne(t *testing.T) {
+	ref := []video.Box{{X0: 0, Y0: 0, X1: 10, Y1: 10}}
+	pred := []video.Box{{X0: 0, Y0: 0, X1: 10, Y1: 10}, {X0: 1, Y0: 1, X1: 10, Y1: 10}}
+	var c Counts
+	c.Match(pred, ref, 0.5)
+	// Only one prediction can claim the single reference.
+	if c.TP != 1 || c.FP != 1 || c.FN != 0 {
+		t.Errorf("counts = %+v", c)
+	}
+}
+
+func TestCountsEmpty(t *testing.T) {
+	var c Counts
+	if c.Precision() != 1 || c.Recall() != 1 {
+		t.Error("empty counts should be perfect")
+	}
+}
+
+// TestDetectorOnSuiteVideo: the detector must find the suite's objects on
+// exact frames — precondition for the Fig. 13 experiment.
+func TestDetectorOnSuiteVideo(t *testing.T) {
+	v := video.ByID(5) // talker: one object
+	found := 0
+	for _, ti := range []int{0, 10, 20, 30} {
+		boxes := Detect(v.Frame(ti), v.BackgroundFrame(ti), v.Width, v.Height, DefaultParams())
+		truth := v.ObjectBoxes(ti)
+		var c Counts
+		c.Match(boxes, truth, 0.3)
+		if c.TP > 0 {
+			found++
+		}
+	}
+	if found < 3 {
+		t.Errorf("detector found the talker in only %d/4 frames", found)
+	}
+}

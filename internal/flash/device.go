@@ -1,0 +1,348 @@
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/flipbit-sim/flipbit/internal/energy"
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+// Errors returned by the device.
+var (
+	// ErrNeedsErase is returned by program operations that would require
+	// a 0 → 1 transition, which only an erase can provide.
+	ErrNeedsErase = errors.New("flash: program requires 0→1 transition; page must be erased first")
+	// ErrWornOut is returned once a page has exceeded its endurance and
+	// can no longer be erased reliably.
+	ErrWornOut = errors.New("flash: page exceeded program/erase endurance")
+	// ErrBounds is returned for out-of-range addresses or page numbers.
+	ErrBounds = errors.New("flash: address out of range")
+)
+
+// NumBuffers is the number of SRAM page write buffers. Commercial parts
+// provide two so that page updates can be interleaved (§II-A); FlipBit
+// repurposes the second buffer to hold the approximate page copy (§III-B).
+const NumBuffers = 2
+
+// Stats counts flash operations and accumulates their energy and busy time.
+type Stats struct {
+	Reads           uint64 // bytes read
+	Programs        uint64 // bytes programmed
+	ProgramsSkipped uint64 // byte programs elided because the target value was already stored
+	Erases          uint64 // pages erased
+
+	Energy energy.Energy
+	Busy   time.Duration
+}
+
+// Add returns the element-wise sum of two stats.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Reads:           s.Reads + o.Reads,
+		Programs:        s.Programs + o.Programs,
+		ProgramsSkipped: s.ProgramsSkipped + o.ProgramsSkipped,
+		Erases:          s.Erases + o.Erases,
+		Energy:          s.Energy + o.Energy,
+		Busy:            s.Busy + o.Busy,
+	}
+}
+
+// Sub returns the element-wise difference s - o.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:           s.Reads - o.Reads,
+		Programs:        s.Programs - o.Programs,
+		ProgramsSkipped: s.ProgramsSkipped - o.ProgramsSkipped,
+		Erases:          s.Erases - o.Erases,
+		Energy:          s.Energy - o.Energy,
+		Busy:            s.Busy - o.Busy,
+	}
+}
+
+// Device is a simulated NOR flash chip: the memory array, the page write
+// buffers, wear counters and the operation ledger.
+//
+// Device is not safe for concurrent use; embedded flash has a single port.
+type Device struct {
+	spec  Spec
+	array []byte
+	wear  []uint32 // per-page erase count
+	dead  []bool   // per-page worn-out flag
+	bufs  [NumBuffers][]byte
+	stats Stats
+
+	// rng drives the stuck-bit failure model for worn-out pages.
+	rng *xrand.RNG
+
+	// programAll, when set, charges a program pulse even for bytes whose
+	// stored value already equals the target. Real buffered parts skip
+	// those pulses; the flag exists for the skip-unchanged ablation.
+	programAll bool
+
+	// trace, when attached, records programs and erases (trace.go).
+	trace *Trace
+
+	// One-shot power-loss fault injection (powerloss.go).
+	plArmed bool
+	plSkip  int
+}
+
+// SetProgramAll toggles charging program pulses for unchanged bytes.
+func (d *Device) SetProgramAll(v bool) { d.programAll = v }
+
+// NewDevice builds a device from spec with every page erased (all ones),
+// which is how flash leaves the factory.
+func NewDevice(spec Spec) (*Device, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		spec:  spec,
+		array: make([]byte, spec.Size()),
+		wear:  make([]uint32, spec.NumPages),
+		dead:  make([]bool, spec.NumPages),
+		rng:   xrand.New(0xF1A5),
+	}
+	for i := range d.array {
+		d.array[i] = 0xFF
+	}
+	for b := range d.bufs {
+		d.bufs[b] = make([]byte, spec.PageSize)
+	}
+	return d, nil
+}
+
+// MustNewDevice is NewDevice for specs known to be valid.
+func MustNewDevice(spec Spec) *Device {
+	d, err := NewDevice(spec)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Spec returns the device's specification.
+func (d *Device) Spec() Spec { return d.spec }
+
+// Stats returns a snapshot of the operation ledger.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats clears the operation ledger (wear is preserved: it is physical).
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// PageOf returns the page number containing addr.
+func (d *Device) PageOf(addr int) int { return addr / d.spec.PageSize }
+
+// PageBase returns the first address of page p.
+func (d *Device) PageBase(p int) int { return p * d.spec.PageSize }
+
+func (d *Device) checkAddr(addr, n int) error {
+	if addr < 0 || n < 0 || addr+n > len(d.array) {
+		return fmt.Errorf("%w: addr %#x len %d (size %#x)", ErrBounds, addr, n, len(d.array))
+	}
+	return nil
+}
+
+func (d *Device) checkPage(p int) error {
+	if p < 0 || p >= d.spec.NumPages {
+		return fmt.Errorf("%w: page %d of %d", ErrBounds, p, d.spec.NumPages)
+	}
+	return nil
+}
+
+// ReadByteAt reads the byte at addr, charging read latency and energy.
+func (d *Device) ReadByteAt(addr int) (byte, error) {
+	if err := d.checkAddr(addr, 1); err != nil {
+		return 0, err
+	}
+	d.stats.Reads++
+	d.stats.Energy += d.spec.ReadEnergy
+	d.stats.Busy += d.spec.ReadLatency
+	return d.array[addr], nil
+}
+
+// Read fills dst from consecutive addresses starting at addr.
+func (d *Device) Read(addr int, dst []byte) error {
+	if err := d.checkAddr(addr, len(dst)); err != nil {
+		return err
+	}
+	copy(dst, d.array[addr:addr+len(dst)])
+	d.stats.Reads += uint64(len(dst))
+	d.stats.Energy += d.spec.ReadEnergy * energy.Energy(len(dst))
+	d.stats.Busy += d.spec.ReadLatency * time.Duration(len(dst))
+	return nil
+}
+
+// ProgramByte programs one byte. Programming can only clear bits: if v
+// requires any 0 → 1 transition relative to the stored byte, the operation
+// fails with ErrNeedsErase and nothing is charged (the controller checks
+// before issuing). Programming a byte to its current value is skipped by the
+// controller logic and charged nothing, matching buffered page programming
+// where unchanged bytes need no pulse.
+func (d *Device) ProgramByte(addr int, v byte) error {
+	if err := d.checkAddr(addr, 1); err != nil {
+		return err
+	}
+	cur := d.array[addr]
+	if !d.spec.Cell.Reachable(cur, v) {
+		return fmt.Errorf("%w: addr %#x stored %08b want %08b (%v)", ErrNeedsErase, addr, cur, v, d.spec.Cell)
+	}
+	if v == cur && !d.programAll {
+		d.stats.ProgramsSkipped++
+		return nil
+	}
+	if d.powerLossPending() {
+		// The pulse was cut short: some target bits cleared, the
+		// rest did not. Energy/latency for the partial pulse is
+		// still drawn from the supply.
+		d.tearProgram(addr, v)
+		d.stats.Programs++
+		d.stats.Energy += d.spec.ProgramEnergy
+		d.stats.Busy += d.spec.ProgramLatency
+		return fmt.Errorf("program %#x: %w", addr, ErrPowerLoss)
+	}
+	d.array[addr] = v
+	d.stats.Programs++
+	d.stats.Energy += d.spec.ProgramEnergy
+	d.stats.Busy += d.spec.ProgramLatency
+	if d.trace != nil {
+		d.trace.Entries = append(d.trace.Entries, TraceEntry{Op: TraceProgram, Addr: addr, Value: v})
+	}
+	return nil
+}
+
+// ErasePage erases page p: every bit is set to 1 and the page's wear count
+// increments. Once wear exceeds the endurance rating the page is worn out:
+// the erase still happens but some cells stick at 0 (trapped charge, §II-B)
+// and ErrWornOut is returned so callers can observe the failure.
+func (d *Device) ErasePage(p int) error {
+	if err := d.checkPage(p); err != nil {
+		return err
+	}
+	base := d.PageBase(p)
+	if d.powerLossPending() {
+		d.tearErase(p)
+		d.wear[p]++ // the tunnel-oxide stress happened regardless
+		d.stats.Erases++
+		d.stats.Energy += d.spec.EraseEnergy
+		d.stats.Busy += d.spec.EraseLatency
+		return fmt.Errorf("erase page %d: %w", p, ErrPowerLoss)
+	}
+	for i := 0; i < d.spec.PageSize; i++ {
+		d.array[base+i] = 0xFF
+	}
+	d.wear[p]++
+	d.stats.Erases++
+	d.stats.Energy += d.spec.EraseEnergy
+	d.stats.Busy += d.spec.EraseLatency
+	if d.trace != nil {
+		d.trace.Entries = append(d.trace.Entries, TraceEntry{Op: TraceErase, Addr: p})
+	}
+	if d.wear[p] > d.spec.EnduranceCycles {
+		d.dead[p] = true
+		// Stuck-at-zero failure model: roughly one cell per byte per
+		// thousand cycles past the limit fails to erase.
+		over := d.wear[p] - d.spec.EnduranceCycles
+		stuck := 1 + int(over/1000)
+		for i := 0; i < stuck; i++ {
+			off := d.rng.Intn(d.spec.PageSize)
+			bit := d.rng.Intn(8)
+			d.array[base+off] &^= 1 << uint(bit)
+		}
+		return fmt.Errorf("page %d: %w (wear %d > %d)", p, ErrWornOut, d.wear[p], d.spec.EnduranceCycles)
+	}
+	return nil
+}
+
+// Wear returns the erase count of page p.
+func (d *Device) Wear(p int) uint32 {
+	if p < 0 || p >= len(d.wear) {
+		return 0
+	}
+	return d.wear[p]
+}
+
+// MaxWear returns the highest erase count across all pages; flash lifetime
+// ends when the hottest page wears out.
+func (d *Device) MaxWear() uint32 {
+	var m uint32
+	for _, w := range d.wear {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// WornOut reports whether page p has exceeded its endurance.
+func (d *Device) WornOut(p int) bool {
+	return p >= 0 && p < len(d.dead) && d.dead[p]
+}
+
+// Buffer returns write buffer b for direct manipulation by the controller.
+// Buffer contents are SRAM: accessing them costs nothing in this model (the
+// controller charges CPU energy separately for buffer fills).
+func (d *Device) Buffer(b int) []byte {
+	return d.bufs[b]
+}
+
+// LoadBuffer reads page p into buffer b, charging a page's worth of reads.
+// This is step 1 of the read-modify-write operation (§II-A).
+func (d *Device) LoadBuffer(b, p int) error {
+	if err := d.checkPage(p); err != nil {
+		return err
+	}
+	return d.Read(d.PageBase(p), d.bufs[b])
+}
+
+// ProgramFromBuffer programs page p from buffer b without erasing. Every
+// byte must be reachable through 1 → 0 transitions only; otherwise the
+// operation fails with ErrNeedsErase before touching the array. Bytes that
+// already hold the buffered value are skipped.
+func (d *Device) ProgramFromBuffer(p, b int) error {
+	if err := d.checkPage(p); err != nil {
+		return err
+	}
+	base := d.PageBase(p)
+	buf := d.bufs[b]
+	for i, v := range buf {
+		if !d.spec.Cell.Reachable(d.array[base+i], v) {
+			return fmt.Errorf("%w: page %d byte %d stored %08b want %08b (%v)",
+				ErrNeedsErase, p, i, d.array[base+i], v, d.spec.Cell)
+		}
+	}
+	for i, v := range buf {
+		if err := d.ProgramByte(base+i, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EraseProgramFromBuffer erases page p and programs it from buffer b — the
+// "read-modify-write" commit path (§II-A steps 2 and 4). A worn-out erase
+// error is returned after the program completes so the data is still
+// best-effort written.
+func (d *Device) EraseProgramFromBuffer(p, b int) error {
+	eraseErr := d.ErasePage(p)
+	if eraseErr != nil && !errors.Is(eraseErr, ErrWornOut) {
+		return eraseErr
+	}
+	if err := d.ProgramFromBuffer(p, b); err != nil {
+		// Only possible on a worn-out page with stuck bits.
+		return errors.Join(eraseErr, err)
+	}
+	return eraseErr
+}
+
+// Peek returns the stored byte without charging a read; for tests and
+// instrumentation only.
+func (d *Device) Peek(addr int) byte { return d.array[addr] }
+
+// PeekPage copies page p into dst without charging reads; for tests and
+// instrumentation only.
+func (d *Device) PeekPage(p int, dst []byte) {
+	copy(dst, d.array[d.PageBase(p):d.PageBase(p)+d.spec.PageSize])
+}

@@ -1,0 +1,336 @@
+package flash
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/flipbit-sim/flipbit/internal/energy"
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+func smallSpec() Spec {
+	s := DefaultSpec()
+	s.PageSize = 16
+	s.NumPages = 8
+	s.EnduranceCycles = 50
+	return s
+}
+
+func TestDefaultSpecValid(t *testing.T) {
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecValidateRejectsBadGeometry(t *testing.T) {
+	mut := []func(*Spec){
+		func(s *Spec) { s.PageSize = 0 },
+		func(s *Spec) { s.NumPages = -1 },
+		func(s *Spec) { s.ReadLatency = 0 },
+		func(s *Spec) { s.EraseEnergy = 0 },
+		func(s *Spec) { s.EnduranceCycles = 0 },
+	}
+	for i, m := range mut {
+		s := DefaultSpec()
+		m(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate spec", i)
+		}
+	}
+}
+
+// TestPaperTableIRatios: Table I — erase is 340× slower and 360× more
+// energetic than a program.
+func TestPaperTableIRatios(t *testing.T) {
+	s := DefaultSpec()
+	latRatio := float64(s.EraseLatency) / float64(s.ProgramLatency)
+	if math.Abs(latRatio-340) > 1 {
+		t.Errorf("erase/program latency ratio = %.1f, want 340", latRatio)
+	}
+	engRatio := float64(s.EraseEnergy) / float64(s.ProgramEnergy)
+	if math.Abs(engRatio-360) > 1 {
+		t.Errorf("erase/program energy ratio = %.1f, want 360", engRatio)
+	}
+	// §I: writes consume 5 orders of magnitude more energy than reads.
+	if r := float64(s.ProgramEnergy) / float64(s.ReadEnergy); math.Abs(r-1e5) > 1 {
+		t.Errorf("program/read energy ratio = %g, want 1e5", r)
+	}
+}
+
+// TestPaperFig1ErasePower: §II computes flash drawing 8.4× the M0+'s power
+// during an erase; our spec must reproduce that.
+func TestPaperFig1ErasePower(t *testing.T) {
+	s := DefaultSpec()
+	cpu := energy.CortexM0Plus()
+	ratio := float64(s.ErasePower()) / float64(cpu.Power)
+	if ratio < 8.2 || ratio > 8.6 {
+		t.Errorf("erase power / CPU power = %.2f, paper says 8.4×", ratio)
+	}
+}
+
+func TestNewDeviceStartsErased(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	for addr := 0; addr < d.Spec().Size(); addr++ {
+		if d.Peek(addr) != 0xFF {
+			t.Fatalf("addr %#x not erased at birth", addr)
+		}
+	}
+}
+
+func TestProgramOnlyClearsBits(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	if err := d.ProgramByte(0, 0b1010_1010); err != nil {
+		t.Fatal(err)
+	}
+	if d.Peek(0) != 0b1010_1010 {
+		t.Fatalf("stored %08b", d.Peek(0))
+	}
+	// Clearing more bits is fine.
+	if err := d.ProgramByte(0, 0b1000_1000); err != nil {
+		t.Fatal(err)
+	}
+	// Setting a cleared bit must fail.
+	err := d.ProgramByte(0, 0b1100_1000)
+	if !errors.Is(err, ErrNeedsErase) {
+		t.Fatalf("expected ErrNeedsErase, got %v", err)
+	}
+	if d.Peek(0) != 0b1000_1000 {
+		t.Fatalf("failed program must not modify the array: %08b", d.Peek(0))
+	}
+}
+
+// TestProgramSubsetProperty: after any sequence of programs the stored value
+// is the AND of all programmed values.
+func TestProgramSubsetProperty(t *testing.T) {
+	f := func(vals []byte) bool {
+		d := MustNewDevice(smallSpec())
+		acc := byte(0xFF)
+		for _, v := range vals {
+			acc &= v
+			if err := d.ProgramByte(3, acc); err != nil {
+				return false
+			}
+		}
+		return d.Peek(3) == acc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEraseRestoresAllOnes(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	base := d.PageBase(2)
+	for i := 0; i < d.Spec().PageSize; i++ {
+		if err := d.ProgramByte(base+i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.ErasePage(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Spec().PageSize; i++ {
+		if d.Peek(base+i) != 0xFF {
+			t.Fatalf("byte %d not erased", i)
+		}
+	}
+	if d.Wear(2) != 1 {
+		t.Errorf("wear = %d, want 1", d.Wear(2))
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	s := d.Spec()
+	_, _ = d.ReadByteAt(0)
+	_ = d.ProgramByte(0, 0x0F)
+	_ = d.ProgramByte(0, 0x0F) // same value: skipped
+	_ = d.ErasePage(0)
+	st := d.Stats()
+	if st.Reads != 1 || st.Programs != 1 || st.ProgramsSkipped != 1 || st.Erases != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	wantE := s.ReadEnergy + s.ProgramEnergy + s.EraseEnergy
+	if math.Abs(float64(st.Energy-wantE)) > 1e-15 {
+		t.Errorf("energy = %v, want %v", st.Energy, wantE)
+	}
+	wantT := s.ReadLatency + s.ProgramLatency + s.EraseLatency
+	if st.Busy != wantT {
+		t.Errorf("busy = %v, want %v", st.Busy, wantT)
+	}
+	d.ResetStats()
+	if d.Stats() != (Stats{}) {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestStatsAddSub(t *testing.T) {
+	a := Stats{Reads: 5, Programs: 3, Erases: 1, Energy: 2, Busy: 10}
+	b := Stats{Reads: 2, Programs: 1, Erases: 1, Energy: 1, Busy: 4}
+	sum := a.Add(b)
+	if sum.Reads != 7 || sum.Programs != 4 || sum.Erases != 2 {
+		t.Errorf("Add = %+v", sum)
+	}
+	diff := sum.Sub(b)
+	if diff != a {
+		t.Errorf("Sub = %+v, want %+v", diff, a)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	if _, err := d.ReadByteAt(-1); !errors.Is(err, ErrBounds) {
+		t.Error("negative address should fail")
+	}
+	if _, err := d.ReadByteAt(d.Spec().Size()); !errors.Is(err, ErrBounds) {
+		t.Error("past-the-end address should fail")
+	}
+	if err := d.ErasePage(d.Spec().NumPages); !errors.Is(err, ErrBounds) {
+		t.Error("past-the-end page should fail")
+	}
+	if err := d.Read(d.Spec().Size()-1, make([]byte, 2)); !errors.Is(err, ErrBounds) {
+		t.Error("overlapping read should fail")
+	}
+}
+
+func TestBufferRoundTrip(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	rng := xrand.New(5)
+	// Program a known pattern, load it into buffer 0, verify.
+	base := d.PageBase(1)
+	want := make([]byte, d.Spec().PageSize)
+	for i := range want {
+		want[i] = rng.Byte()
+		if err := d.ProgramByte(base+i, want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.LoadBuffer(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	buf := d.Buffer(0)
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("buffer[%d] = %02x, want %02x", i, buf[i], want[i])
+		}
+	}
+}
+
+func TestProgramFromBufferRejects0to1(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	base := d.PageBase(0)
+	if err := d.ProgramByte(base, 0x00); err != nil {
+		t.Fatal(err)
+	}
+	buf := d.Buffer(0)
+	for i := range buf {
+		buf[i] = 0x00
+	}
+	buf[0] = 0x01 // would need a 0→1 flip
+	before := d.Stats()
+	err := d.ProgramFromBuffer(0, 0)
+	if !errors.Is(err, ErrNeedsErase) {
+		t.Fatalf("want ErrNeedsErase, got %v", err)
+	}
+	if d.Stats().Programs != before.Programs {
+		t.Error("failed buffer program must charge nothing")
+	}
+}
+
+func TestProgramFromBufferSkipsUnchanged(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	buf := d.Buffer(0)
+	for i := range buf {
+		buf[i] = 0xFF // page is already all-ones
+	}
+	if err := d.ProgramFromBuffer(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Programs != 0 {
+		t.Errorf("programs = %d, want 0 (all bytes unchanged)", st.Programs)
+	}
+	if st.ProgramsSkipped != uint64(d.Spec().PageSize) {
+		t.Errorf("skipped = %d, want %d", st.ProgramsSkipped, d.Spec().PageSize)
+	}
+}
+
+func TestEraseProgramFromBuffer(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	base := d.PageBase(3)
+	for i := 0; i < d.Spec().PageSize; i++ {
+		if err := d.ProgramByte(base+i, 0x00); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := d.Buffer(1)
+	for i := range buf {
+		buf[i] = byte(i) | 0x80 // needs 0→1 flips, hence the erase
+	}
+	if err := d.EraseProgramFromBuffer(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if d.Peek(base+i) != buf[i] {
+			t.Fatalf("byte %d = %02x, want %02x", i, d.Peek(base+i), buf[i])
+		}
+	}
+	if d.Wear(3) != 1 {
+		t.Errorf("wear = %d", d.Wear(3))
+	}
+}
+
+func TestWearOutFaultModel(t *testing.T) {
+	s := smallSpec() // endurance 50
+	d := MustNewDevice(s)
+	var sawWornOut bool
+	for i := uint32(0); i < s.EnduranceCycles+5; i++ {
+		err := d.ErasePage(0)
+		if err != nil {
+			if !errors.Is(err, ErrWornOut) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			sawWornOut = true
+		}
+	}
+	if !sawWornOut {
+		t.Fatal("never saw ErrWornOut past endurance")
+	}
+	if !d.WornOut(0) {
+		t.Error("page 0 should be flagged worn out")
+	}
+	// A worn-out page has stuck-at-0 cells after erase.
+	stuck := 0
+	base := d.PageBase(0)
+	for i := 0; i < s.PageSize; i++ {
+		if d.Peek(base+i) != 0xFF {
+			stuck++
+		}
+	}
+	if stuck == 0 {
+		t.Error("worn-out page erased perfectly; fault model inactive")
+	}
+}
+
+func TestMaxWear(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	_ = d.ErasePage(1)
+	_ = d.ErasePage(1)
+	_ = d.ErasePage(4)
+	if d.MaxWear() != 2 {
+		t.Errorf("MaxWear = %d, want 2", d.MaxWear())
+	}
+}
+
+func TestPageOfPageBase(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	ps := d.Spec().PageSize
+	if d.PageOf(0) != 0 || d.PageOf(ps-1) != 0 || d.PageOf(ps) != 1 {
+		t.Error("PageOf boundaries wrong")
+	}
+	if d.PageBase(3) != 3*ps {
+		t.Error("PageBase wrong")
+	}
+}

@@ -1,0 +1,85 @@
+package flash
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCellModeReachableSLC(t *testing.T) {
+	f := func(from, to byte) bool {
+		return SLC.Reachable(from, to) == (to&^from == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellModeReachableMLC(t *testing.T) {
+	cases := []struct {
+		from, to byte
+		want     bool
+	}{
+		{0xFF, 0x00, true},  // all cells 11 → 00
+		{0xFF, 0xFF, true},  // no movement
+		{0b01, 0b10, false}, // cell 0: 01 → 10 is upward
+		{0b10, 0b01, true},  // cell 0: 10 → 01 is downward
+		{0b11_00, 0b01_00, true},
+		{0b00_00, 0b00_01, false},
+		{0x55, 0x55, true},
+		{0x00, 0xFF, false},
+	}
+	for _, c := range cases {
+		if got := MLC.Reachable(c.from, c.to); got != c.want {
+			t.Errorf("MLC.Reachable(%08b, %08b) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+// TestMLCReachableImpliesSLCSuperset: every SLC-reachable transition is
+// also MLC-reachable (clearing bits only lowers cell levels), but not vice
+// versa.
+func TestMLCReachableImpliesSLCSuperset(t *testing.T) {
+	f := func(from, to byte) bool {
+		if SLC.Reachable(from, to) && !MLC.Reachable(from, to) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Strictness witness: 10 → 01 per cell.
+	if !MLC.Reachable(0b10, 0b01) || SLC.Reachable(0b10, 0b01) {
+		t.Error("MLC should allow 10→01 that SLC forbids")
+	}
+}
+
+func TestMLCDeviceProgramSemantics(t *testing.T) {
+	spec := smallSpec()
+	spec.Cell = MLC
+	d := MustNewDevice(spec)
+	// 0xFF → 0xA5 (cells 10,01,10,01... wait per-byte): every cell of
+	// 0xA5 (10 10 01 01 reading pairs) is <= 11.
+	if err := d.ProgramByte(0, 0xA5); err != nil {
+		t.Fatal(err)
+	}
+	// Raising any cell must fail: 0xA5 cell0 = 01 → 10 would rise.
+	err := d.ProgramByte(0, 0xA6)
+	if !errors.Is(err, ErrNeedsErase) {
+		t.Fatalf("upward MLC move accepted: %v", err)
+	}
+	// Lowering cells is fine: 0xA5 → 0xA4 (cell0 01→00).
+	if err := d.ProgramByte(0, 0xA4); err != nil {
+		t.Fatal(err)
+	}
+	if d.Peek(0) != 0xA4 {
+		t.Errorf("stored %02x", d.Peek(0))
+	}
+}
+
+func TestCellModeString(t *testing.T) {
+	if SLC.String() != "SLC" || MLC.String() != "MLC" {
+		t.Error("CellMode strings wrong")
+	}
+}

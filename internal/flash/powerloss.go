@@ -1,0 +1,56 @@
+package flash
+
+import "errors"
+
+// Power-loss fault injection. Flash operations are not atomic: a program
+// interrupted by power loss leaves a byte with only some of its bits
+// cleared, and an interrupted erase leaves a page with a mixture of erased
+// and stale bytes. Embedded firmware must tolerate both (it is why
+// checkpointing systems keep a previous-good copy); these hooks let tests
+// and experiments exercise that failure mode deterministically.
+
+// ErrPowerLoss is returned by the operation that was interrupted.
+var ErrPowerLoss = errors.New("flash: power lost mid-operation")
+
+// InjectPowerLoss arms a one-shot fault: after skip more successful
+// state-changing operations (programs or erases), the next one is
+// interrupted partway and returns ErrPowerLoss. The device remains usable
+// afterwards, modelling a reboot.
+func (d *Device) InjectPowerLoss(skip int) {
+	d.plArmed = true
+	d.plSkip = skip
+}
+
+// powerLossPending decrements the arm counter and reports whether the
+// current operation should be interrupted.
+func (d *Device) powerLossPending() bool {
+	if !d.plArmed {
+		return false
+	}
+	if d.plSkip > 0 {
+		d.plSkip--
+		return false
+	}
+	d.plArmed = false
+	return true
+}
+
+// tearProgram applies a partial program: each bit the full program would
+// have cleared clears with probability ~1/2.
+func (d *Device) tearProgram(addr int, v byte) {
+	cur := d.array[addr]
+	toClear := cur &^ v
+	partial := toClear & d.rng.Byte()
+	d.array[addr] = cur &^ partial
+}
+
+// tearErase applies a partial erase: each byte of the page independently
+// either reaches the erased state or keeps its old value.
+func (d *Device) tearErase(p int) {
+	base := d.PageBase(p)
+	for i := 0; i < d.spec.PageSize; i++ {
+		if d.rng.Intn(2) == 0 {
+			d.array[base+i] = 0xFF
+		}
+	}
+}

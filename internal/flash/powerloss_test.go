@@ -1,0 +1,111 @@
+package flash
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPowerLossDuringProgram(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	d.InjectPowerLoss(0)
+	err := d.ProgramByte(0, 0x0F)
+	if !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("want ErrPowerLoss, got %v", err)
+	}
+	// The byte ends somewhere between its old value (0xFF) and the
+	// target (0x0F): target bits stay set (never spuriously cleared
+	// beyond the program), and no 0-bit was set.
+	got := d.Peek(0)
+	if got&0x0F != 0x0F {
+		t.Errorf("bits below the target cleared: %08b", got)
+	}
+	// Device is usable again; completing the program must work.
+	if err := d.ProgramByte(0, 0x0F); err != nil {
+		t.Fatalf("retry after power loss: %v", err)
+	}
+	if d.Peek(0) != 0x0F {
+		t.Errorf("retried program did not converge: %08b", d.Peek(0))
+	}
+}
+
+func TestPowerLossDuringErase(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	base := d.PageBase(1)
+	for i := 0; i < d.Spec().PageSize; i++ {
+		if err := d.ProgramByte(base+i, 0x00); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.InjectPowerLoss(0)
+	err := d.ErasePage(1)
+	if !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("want ErrPowerLoss, got %v", err)
+	}
+	// The page is torn: a mixture of erased and stale bytes.
+	var erased, stale int
+	for i := 0; i < d.Spec().PageSize; i++ {
+		switch d.Peek(base + i) {
+		case 0xFF:
+			erased++
+		case 0x00:
+			stale++
+		}
+	}
+	if erased == 0 || stale == 0 {
+		t.Errorf("torn erase not mixed: %d erased, %d stale", erased, stale)
+	}
+	if d.Wear(1) != 1 {
+		t.Errorf("interrupted erase must still wear the page (wear %d)", d.Wear(1))
+	}
+	// Recovery: a clean erase restores the page.
+	if err := d.ErasePage(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Spec().PageSize; i++ {
+		if d.Peek(base+i) != 0xFF {
+			t.Fatalf("byte %d not erased after recovery", i)
+		}
+	}
+}
+
+func TestPowerLossSkipCount(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	d.InjectPowerLoss(2) // survive two operations, interrupt the third
+	if err := d.ProgramByte(0, 0xF0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ProgramByte(1, 0xF0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ProgramByte(2, 0xF0); !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("third op should be interrupted, got %v", err)
+	}
+	// One-shot: the fourth op succeeds.
+	if err := d.ProgramByte(3, 0xF0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLossOneShot(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	d.InjectPowerLoss(0)
+	_ = d.ProgramByte(0, 0x00)
+	for i := 1; i < 10; i++ {
+		if err := d.ProgramByte(i, 0x00); err != nil {
+			t.Fatalf("op %d after one-shot fault: %v", i, err)
+		}
+	}
+}
+
+func TestPowerLossSkippedProgramsDoNotTrip(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	d.InjectPowerLoss(0)
+	// Programming the current value is elided, so it must not consume
+	// the fault.
+	if err := d.ProgramByte(0, 0xFF); err != nil {
+		t.Fatalf("skipped program tripped the fault: %v", err)
+	}
+	if err := d.ProgramByte(0, 0x00); !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("real program should trip the fault, got %v", err)
+	}
+}

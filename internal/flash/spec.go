@@ -1,0 +1,141 @@
+// Package flash models an embedded NOR flash memory at the level FlipBit
+// cares about: bit-level program/erase semantics, page organisation, SRAM
+// write buffers, per-operation latency and energy, and wear (paper §II).
+//
+// The physical rules the model enforces are exactly the ones the paper's
+// mechanism exploits:
+//
+//   - an erase works on a whole page and sets every bit to 1;
+//   - a program works on a single byte and can only clear bits (1 → 0);
+//   - erase is ~340× slower and ~360× more energetic than a program;
+//   - every program/erase cycle wears the page's tunnel oxide.
+package flash
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/flipbit-sim/flipbit/internal/energy"
+)
+
+// CellMode distinguishes single-level cells (one bit per cell; programming
+// clears bits 1→0) from multi-level cells (two bits per cell; programming
+// moves the cell's level monotonically down 11→10→01→00, §VI).
+type CellMode int
+
+// Supported cell modes.
+const (
+	SLC CellMode = iota
+	MLC
+)
+
+func (m CellMode) String() string {
+	if m == MLC {
+		return "MLC"
+	}
+	return "SLC"
+}
+
+// Reachable reports whether a byte holding `from` can be programmed to
+// `to` without an erase under this cell mode: bitwise subset for SLC,
+// per-cell level decrease for MLC.
+func (m CellMode) Reachable(from, to byte) bool {
+	if m == SLC {
+		return to&^from == 0
+	}
+	for c := 0; c < 4; c++ {
+		shift := uint(2 * c)
+		if to>>shift&0b11 > from>>shift&0b11 {
+			return false
+		}
+	}
+	return true
+}
+
+// Spec describes a flash part: geometry, datasheet timing/energy and
+// endurance. The zero value is not usable; start from DefaultSpec.
+type Spec struct {
+	Name string
+
+	// Cell selects SLC (default) or MLC programming semantics.
+	Cell CellMode
+
+	// Geometry.
+	PageSize int // bytes per page (erase granularity)
+	NumPages int
+
+	// Latency per operation (Table I of the paper).
+	ReadLatency    time.Duration // one byte
+	ProgramLatency time.Duration // one byte
+	EraseLatency   time.Duration // one page
+
+	// Energy per operation.
+	ReadEnergy    energy.Energy // one byte
+	ProgramEnergy energy.Energy // one byte
+	EraseEnergy   energy.Energy // one page
+
+	// Endurance: program/erase cycles a page survives before wearing out
+	// (typically 10,000–1,000,000; §II-B).
+	EnduranceCycles uint32
+}
+
+// DefaultSpec returns the commercially-available embedded NOR part the paper
+// evaluates against [75]: 256-byte pages with page-granularity erase.
+//
+// Latencies are Table I verbatim: read 30.3 ns, program 30 µs, erase
+// 10.2 ms (ratios 340× program:erase). Energies are anchored on the two
+// figures the paper states: a page erase costs 196 µJ (§II) and a program is
+// 360× cheaper than an erase, i.e. ≈544 nJ/byte (consistent with §V-D, which
+// puts programming a single byte at ≈574 nJ). Reads are five orders of
+// magnitude cheaper than writes (§I), giving ≈5.4 pJ/byte.
+func DefaultSpec() Spec {
+	const eraseEnergy = 196 * energy.Microjoule
+	return Spec{
+		Name:            "embedded-nor-256B",
+		PageSize:        256,
+		NumPages:        4096, // 1 MiB array, matching the approx region of Listing 2
+		ReadLatency:     30*time.Nanosecond + 300*time.Nanosecond/1000,
+		ProgramLatency:  30 * time.Microsecond,
+		EraseLatency:    10200 * time.Microsecond,
+		ReadEnergy:      eraseEnergy / 360 / 1e5,
+		ProgramEnergy:   eraseEnergy / 360,
+		EraseEnergy:     eraseEnergy,
+		EnduranceCycles: 100_000,
+	}
+}
+
+// Validate reports whether the spec is internally consistent.
+func (s Spec) Validate() error {
+	switch {
+	case s.PageSize <= 0:
+		return fmt.Errorf("flash: page size must be positive, got %d", s.PageSize)
+	case s.NumPages <= 0:
+		return fmt.Errorf("flash: page count must be positive, got %d", s.NumPages)
+	case s.ReadLatency <= 0 || s.ProgramLatency <= 0 || s.EraseLatency <= 0:
+		return fmt.Errorf("flash: operation latencies must be positive")
+	case s.ReadEnergy <= 0 || s.ProgramEnergy <= 0 || s.EraseEnergy <= 0:
+		return fmt.Errorf("flash: operation energies must be positive")
+	case s.EnduranceCycles == 0:
+		return fmt.Errorf("flash: endurance must be positive")
+	}
+	return nil
+}
+
+// Size returns the total capacity in bytes.
+func (s Spec) Size() int { return s.PageSize * s.NumPages }
+
+// ReadPower, ProgramPower and ErasePower return the average power drawn
+// while the respective operation is in flight. These are the bars of Fig. 1.
+func (s Spec) ReadPower() energy.Power {
+	return energy.PowerOver(s.ReadEnergy, s.ReadLatency)
+}
+
+// ProgramPower returns the average power of a byte program.
+func (s Spec) ProgramPower() energy.Power {
+	return energy.PowerOver(s.ProgramEnergy, s.ProgramLatency)
+}
+
+// ErasePower returns the average power of a page erase.
+func (s Spec) ErasePower() energy.Power {
+	return energy.PowerOver(s.EraseEnergy, s.EraseLatency)
+}

@@ -1,0 +1,90 @@
+package flash
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TraceOp is the kind of a traced flash operation.
+type TraceOp uint8
+
+// Traced operation kinds: the state-changing operations (programs and
+// erases). Reads are not traced — they do not affect replayability and
+// would dominate the log under XIP execution.
+const (
+	TraceProgram TraceOp = iota
+	TraceErase
+)
+
+func (o TraceOp) String() string {
+	if o == TraceErase {
+		return "erase"
+	}
+	return "program"
+}
+
+// TraceEntry is one recorded operation.
+type TraceEntry struct {
+	Op    TraceOp
+	Addr  int  // byte address for programs, page number for erases
+	Value byte // programmed value (programs only)
+}
+
+// Trace records the state-changing operations of a device so a run can be
+// replayed, diffed or analyzed offline. Attach with Device.SetTracer.
+type Trace struct {
+	Entries []TraceEntry
+}
+
+// ErrReplayMismatch is returned when a replayed trace cannot be applied.
+var ErrReplayMismatch = errors.New("flash: trace replay failed")
+
+// Replay applies the trace to a fresh device of the given spec and returns
+// it. Replaying onto a device with different geometry fails.
+func (t *Trace) Replay(spec Spec) (*Device, error) {
+	d, err := NewDevice(spec)
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range t.Entries {
+		switch e.Op {
+		case TraceProgram:
+			err = d.ProgramByte(e.Addr, e.Value)
+		case TraceErase:
+			err = d.ErasePage(e.Addr)
+		default:
+			err = fmt.Errorf("unknown op %d", e.Op)
+		}
+		if err != nil && !errors.Is(err, ErrWornOut) {
+			return nil, fmt.Errorf("%w: entry %d (%v %#x): %v", ErrReplayMismatch, i, e.Op, e.Addr, err)
+		}
+	}
+	return d, nil
+}
+
+// EraseHeat returns the per-page erase counts recorded in the trace — the
+// wear heat map a lifetime analysis starts from.
+func (t *Trace) EraseHeat(numPages int) []int {
+	heat := make([]int, numPages)
+	for _, e := range t.Entries {
+		if e.Op == TraceErase && e.Addr >= 0 && e.Addr < numPages {
+			heat[e.Addr]++
+		}
+	}
+	return heat
+}
+
+// ProgramBytes returns the number of programmed bytes in the trace.
+func (t *Trace) ProgramBytes() int {
+	n := 0
+	for _, e := range t.Entries {
+		if e.Op == TraceProgram {
+			n++
+		}
+	}
+	return n
+}
+
+// SetTracer attaches (or detaches, with nil) an operation trace to the
+// device. Tracing records programs and erases only.
+func (d *Device) SetTracer(t *Trace) { d.trace = t }

@@ -1,0 +1,83 @@
+package flash
+
+import (
+	"testing"
+
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+// TestTraceReplayReproducesState: replaying a recorded trace on a fresh
+// device must reproduce the original array bit for bit.
+func TestTraceReplayReproducesState(t *testing.T) {
+	spec := smallSpec()
+	d := MustNewDevice(spec)
+	var tr Trace
+	d.SetTracer(&tr)
+
+	rng := xrand.New(21)
+	// A random mix of programs and erases.
+	for i := 0; i < 500; i++ {
+		if rng.Intn(10) == 0 {
+			_ = d.ErasePage(rng.Intn(spec.NumPages))
+			continue
+		}
+		addr := rng.Intn(spec.Size())
+		cur := d.Peek(addr)
+		_ = d.ProgramByte(addr, cur&rng.Byte()) // always a legal subset
+	}
+
+	replayed, err := tr.Replay(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr := 0; addr < spec.Size(); addr++ {
+		if replayed.Peek(addr) != d.Peek(addr) {
+			t.Fatalf("replayed state differs at %#x: %#x vs %#x",
+				addr, replayed.Peek(addr), d.Peek(addr))
+		}
+	}
+}
+
+func TestTraceEraseHeat(t *testing.T) {
+	spec := smallSpec()
+	d := MustNewDevice(spec)
+	var tr Trace
+	d.SetTracer(&tr)
+	_ = d.ErasePage(1)
+	_ = d.ErasePage(1)
+	_ = d.ErasePage(3)
+	heat := tr.EraseHeat(spec.NumPages)
+	if heat[1] != 2 || heat[3] != 1 || heat[0] != 0 {
+		t.Errorf("heat = %v", heat)
+	}
+}
+
+func TestTraceProgramBytes(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	var tr Trace
+	d.SetTracer(&tr)
+	_ = d.ProgramByte(0, 0x0F)
+	_ = d.ProgramByte(0, 0x0F) // skipped: unchanged
+	_ = d.ProgramByte(1, 0x00)
+	if got := tr.ProgramBytes(); got != 2 {
+		t.Errorf("ProgramBytes = %d, want 2 (skips are not traced)", got)
+	}
+}
+
+func TestTraceDetach(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	var tr Trace
+	d.SetTracer(&tr)
+	_ = d.ProgramByte(0, 0)
+	d.SetTracer(nil)
+	_ = d.ProgramByte(1, 0)
+	if len(tr.Entries) != 1 {
+		t.Errorf("entries after detach = %d, want 1", len(tr.Entries))
+	}
+}
+
+func TestTraceOpString(t *testing.T) {
+	if TraceProgram.String() != "program" || TraceErase.String() != "erase" {
+		t.Error("TraceOp strings wrong")
+	}
+}

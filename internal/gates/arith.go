@@ -1,0 +1,76 @@
+package gates
+
+// Word-level arithmetic blocks built from gates. Words are LSB-first signal
+// slices. These are the building blocks of the FlipBit slice comparator and
+// the error-tracking datapath (Fig. 9).
+
+// FullAdder returns (sum, carry) for a + b + cin.
+func FullAdder(c *Circuit, a, b, cin Signal) (Signal, Signal) {
+	axb := c.Xor(a, b)
+	sum := c.Xor(axb, cin)
+	carry := c.Or(c.And(a, b), c.And(axb, cin))
+	return sum, carry
+}
+
+// AddRipple returns the width-len(a) sum and the carry out of a + b + cin.
+// a and b must have equal width.
+func AddRipple(c *Circuit, a, b []Signal, cin Signal) ([]Signal, Signal) {
+	if len(a) != len(b) {
+		panic("gates: AddRipple width mismatch")
+	}
+	sum := make([]Signal, len(a))
+	carry := cin
+	for i := range a {
+		sum[i], carry = FullAdder(c, a[i], b[i], carry)
+	}
+	return sum, carry
+}
+
+// Sub returns a - b (two's complement, same width) and a "no borrow" flag
+// that is true when a >= b.
+func Sub(c *Circuit, a, b []Signal) ([]Signal, Signal) {
+	nb := make([]Signal, len(b))
+	for i := range b {
+		nb[i] = c.Not(b[i])
+	}
+	diff, carry := AddRipple(c, a, nb, c.Const(true))
+	return diff, carry
+}
+
+// LessThan returns the unsigned comparison a < b for equal-width words.
+func LessThan(c *Circuit, a, b []Signal) Signal {
+	_, geq := Sub(c, a, b)
+	return c.Not(geq)
+}
+
+// AbsDiff returns |a - b| for equal-width unsigned words, as the Fig. 9
+// error hardware computes it: subtract both ways and select the
+// non-negative result.
+func AbsDiff(c *Circuit, a, b []Signal) []Signal {
+	ab, aGeqB := Sub(c, a, b)
+	ba, _ := Sub(c, b, a)
+	out := make([]Signal, len(a))
+	for i := range a {
+		out[i] = c.Mux(aGeqB, ab[i], ba[i])
+	}
+	return out
+}
+
+// ZeroExtend widens w to width bits with constant zeros.
+func ZeroExtend(c *Circuit, w []Signal, width int) []Signal {
+	out := make([]Signal, width)
+	copy(out, w)
+	for i := len(w); i < width; i++ {
+		out[i] = c.Const(false)
+	}
+	return out
+}
+
+// ConstWord returns width signals holding the constant v, LSB first.
+func ConstWord(c *Circuit, v uint64, width int) []Signal {
+	out := make([]Signal, width)
+	for i := range out {
+		out[i] = c.Const(v&(1<<uint(i)) != 0)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package harvest
+
+import (
+	"testing"
+
+	"github.com/flipbit-sim/flipbit/internal/core"
+	"github.com/flipbit-sim/flipbit/internal/energy"
+	"github.com/flipbit-sim/flipbit/internal/flash"
+)
+
+// TestBrownOutLosesWork: a capacitor barely larger than the checkpoint
+// reserve forces brown-outs; lost periods must be accounted and the device
+// must keep making *some* progress from the last good state.
+func TestBrownOutLosesWork(t *testing.T) {
+	spec := flash.DefaultSpec()
+	spec.NumPages = 16
+	dev := core.MustNewDevice(spec)
+
+	// Usable energy just above the worst-case checkpoint estimate for
+	// 1 KiB (4 pages ≈ 1.34 mJ × 1.25 ≈ 1.67 mJ): some periods will
+	// start the checkpoint with almost nothing left.
+	cap, err := NewCapacitor(0.00047, 3.3, 1.8) // ≈1.8 mJ usable
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(dev, Config{
+		Cap:          cap,
+		HarvestPower: 1 * energy.Milliwatt,
+		CPU:          energy.CortexM0Plus(),
+		WorkCycles:   50_000,
+		StateBytes:   1024,
+		Seed:         7,
+	}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checkpoints == 0 {
+		t.Fatal("no checkpoint ever succeeded; capacitor sizing broken")
+	}
+	if rep.Checkpoints+uint64(rep.FailedPeriods) != uint64(rep.OnPeriods) {
+		t.Errorf("periods %d != checkpoints %d + failures %d",
+			rep.OnPeriods, rep.Checkpoints, rep.FailedPeriods)
+	}
+	if rep.WorkLost > 0 && rep.FailedPeriods == 0 {
+		t.Error("work lost without failed periods")
+	}
+}
+
+// TestWorkPerMillijouleZeroWhenNothingHarvested: guard against division by
+// zero in the figure of merit.
+func TestWorkPerMillijouleZeroWhenNothingHarvested(t *testing.T) {
+	var r Report
+	if r.WorkPerMillijoule() != 0 {
+		t.Error("empty report should rate 0")
+	}
+}

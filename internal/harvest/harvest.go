@@ -1,0 +1,210 @@
+// Package harvest models the energy-harvesting scenario of §VI: a device
+// runs on ambient energy buffered in a capacitor, computing in bursts and
+// checkpointing state to non-volatile flash before each power loss. The
+// paper argues FlipBit's cheaper approximate checkpoints help EH systems;
+// this package makes that quantitative (see the exp-harvest experiment).
+package harvest
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/flipbit-sim/flipbit/internal/core"
+	"github.com/flipbit-sim/flipbit/internal/energy"
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+// Capacitor is the energy buffer of an EH device. Usable energy is the
+// band between the regulator's minimum operating voltage and the cap's
+// maximum: E = ½·C·(Vmax² − Vmin²).
+type Capacitor struct {
+	CapF float64 // capacitance in farads
+	VMax float64
+	VMin float64
+
+	stored energy.Energy // energy above the VMin floor
+}
+
+// NewCapacitor builds an empty capacitor.
+func NewCapacitor(capF, vMax, vMin float64) (*Capacitor, error) {
+	if capF <= 0 || vMax <= vMin || vMin < 0 {
+		return nil, fmt.Errorf("harvest: bad capacitor (C=%g, Vmax=%g, Vmin=%g)", capF, vMax, vMin)
+	}
+	return &Capacitor{CapF: capF, VMax: vMax, VMin: vMin}, nil
+}
+
+// Capacity returns the usable energy when fully charged.
+func (c *Capacitor) Capacity() energy.Energy {
+	return energy.Energy(0.5 * c.CapF * (c.VMax*c.VMax - c.VMin*c.VMin))
+}
+
+// Stored returns the currently usable energy.
+func (c *Capacitor) Stored() energy.Energy { return c.stored }
+
+// Charge adds harvested energy, saturating at capacity, and returns the
+// time needed to reach the new level at power p.
+func (c *Capacitor) Charge(p energy.Power, e energy.Energy) time.Duration {
+	if e < 0 {
+		e = 0
+	}
+	room := c.Capacity() - c.stored
+	if e > room {
+		e = room
+	}
+	c.stored += e
+	if p <= 0 {
+		return 0
+	}
+	return time.Duration(float64(e) / float64(p) * float64(time.Second))
+}
+
+// Draw removes energy; it reports false (taking nothing) when the request
+// exceeds what is stored — the brown-out that kills an on-period.
+func (c *Capacitor) Draw(e energy.Energy) bool {
+	if e > c.stored {
+		return false
+	}
+	c.stored -= e
+	return true
+}
+
+// Config describes one intermittent-computing deployment.
+type Config struct {
+	Cap          *Capacitor
+	HarvestPower energy.Power // ambient input while off/on
+	CPU          energy.CPUModel
+	WorkCycles   uint64 // CPU cycles per unit of useful work
+	StateBytes   int    // checkpoint size
+	Seed         uint64
+}
+
+// Report summarizes an intermittent run.
+type Report struct {
+	OnPeriods     int
+	WorkDone      uint64 // units whose results were successfully persisted
+	WorkLost      uint64 // units computed but lost to failed checkpoints
+	Checkpoints   uint64
+	FailedPeriods int           // periods that browned out mid-checkpoint
+	HarvestTime   time.Duration // total time spent recharging
+	Harvested     energy.Energy // total ambient energy actually collected
+	FlashEnergy   energy.Energy
+	CheckpointMAE float64
+}
+
+// WorkPerMillijoule returns persisted work units per harvested millijoule —
+// the forward-progress-per-ambient-energy figure of merit for EH devices.
+func (r Report) WorkPerMillijoule() float64 {
+	if r.Harvested <= 0 {
+		return 0
+	}
+	return float64(r.WorkDone) / (float64(r.Harvested) / 1e-3)
+}
+
+// Run simulates onPeriods wake-ups of a device whose state drifts as it
+// works and must be checkpointed through dev before each power loss.
+//
+// Per period: recharge fully, work while the capacitor holds more than the
+// worst-case checkpoint reserve, checkpoint, power off. Energy the
+// checkpoint does not spend stays in the capacitor, shortening the next
+// recharge — which is how cheaper approximate checkpoints convert into
+// more work per harvested joule. A checkpoint that exceeds the remaining
+// charge browns out and loses the period's work.
+func Run(dev *core.Device, cfg Config, onPeriods int) (Report, error) {
+	if cfg.Cap == nil {
+		return Report{}, fmt.Errorf("harvest: nil capacitor")
+	}
+	rng := xrand.New(cfg.Seed)
+	state := make([]byte, cfg.StateBytes)
+	persisted := make([]byte, cfg.StateBytes)
+	for i := range state {
+		state[i] = rng.Byte()
+	}
+	copy(persisted, state)
+
+	var rep Report
+	workEnergy := cfg.CPU.EnergyFor(cfg.WorkCycles)
+	// Checkpoint-cost reserve: intermittent systems must budget the
+	// worst case or brown out mid-checkpoint, so the reserve tracks the
+	// most expensive checkpoint seen (initially a full erase+program of
+	// every touched page) with a 25% margin.
+	spec := dev.Flash().Spec()
+	pages := (cfg.StateBytes + spec.PageSize - 1) / spec.PageSize
+	worstCase := energy.Energy(pages) * (spec.EraseEnergy +
+		spec.ProgramEnergy*energy.Energy(spec.PageSize))
+	maxSeen := energy.Energy(0)
+	reserve := func() energy.Energy {
+		if maxSeen == 0 {
+			return worstCase + worstCase/4
+		}
+		// Any checkpoint may still hit the physical worst case; keep
+		// a floor of half of it so cheap FlipBit runs do not starve
+		// the reserve entirely.
+		r := maxSeen + maxSeen/4
+		if r < worstCase/2 {
+			r = worstCase / 2
+		}
+		return r
+	}
+
+	var errSum float64
+	var errN int
+
+	for period := 0; period < onPeriods; period++ {
+		rep.OnPeriods++
+		before := cfg.Cap.Stored()
+		rep.HarvestTime += cfg.Cap.Charge(cfg.HarvestPower, cfg.Cap.Capacity())
+		rep.Harvested += cfg.Cap.Stored() - before
+		var pendingWork uint64
+		// Work until the margin for a checkpoint (plus one more work
+		// unit) is gone.
+		for cfg.Cap.Stored() >= reserve()+workEnergy {
+			if !cfg.Cap.Draw(workEnergy) {
+				break
+			}
+			pendingWork++
+		}
+		// The period's work nudges the accumulator state slightly —
+		// EMA-style aggregation moves slowly however many samples
+		// fed it.
+		for i := range state {
+			state[i] = byte(int(state[i]) + rng.Intn(5) - 2)
+		}
+		// Checkpoint.
+		statsBefore := dev.Flash().Stats()
+		if err := dev.Write(0, state); err != nil {
+			return rep, err
+		}
+		cost := dev.Flash().Stats().Sub(statsBefore).Energy
+		if cost > maxSeen {
+			maxSeen = cost
+		}
+		if !cfg.Cap.Draw(cost) {
+			// Brown-out mid-checkpoint: the period's work is lost
+			// and the device resumes from the last good state.
+			rep.FailedPeriods++
+			rep.WorkLost += pendingWork
+			copy(state, persisted)
+			continue
+		}
+		rep.Checkpoints++
+		rep.WorkDone += pendingWork
+		// Record what actually landed (approximate under FlipBit).
+		if err := dev.Read(0, persisted); err != nil {
+			return rep, err
+		}
+		for i := range state {
+			d := int(state[i]) - int(persisted[i])
+			if d < 0 {
+				d = -d
+			}
+			errSum += float64(d)
+			errN++
+		}
+		copy(state, persisted)
+	}
+	rep.FlashEnergy = dev.Flash().Stats().Energy
+	if errN > 0 {
+		rep.CheckpointMAE = errSum / float64(errN)
+	}
+	return rep, nil
+}

@@ -1,0 +1,143 @@
+package harvest
+
+import (
+	"testing"
+	"time"
+
+	"github.com/flipbit-sim/flipbit/internal/bits"
+	"github.com/flipbit-sim/flipbit/internal/core"
+	"github.com/flipbit-sim/flipbit/internal/energy"
+	"github.com/flipbit-sim/flipbit/internal/flash"
+)
+
+func TestCapacitorBasics(t *testing.T) {
+	// 100 µF between 3.3 V and 1.8 V: ½·1e-4·(10.89−3.24) ≈ 382 µJ.
+	c, err := NewCapacitor(100e-6, 3.3, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := c.Capacity()
+	if cap < 380*energy.Microjoule || cap > 385*energy.Microjoule {
+		t.Errorf("capacity = %v, want ≈382 µJ", cap)
+	}
+	if c.Stored() != 0 {
+		t.Error("new capacitor should be empty")
+	}
+	d := c.Charge(1*energy.Milliwatt, cap)
+	if c.Stored() != cap {
+		t.Error("charge did not fill")
+	}
+	// 382 µJ at 1 mW ≈ 382 ms.
+	if d < 370*time.Millisecond || d > 390*time.Millisecond {
+		t.Errorf("charge time = %v", d)
+	}
+	if !c.Draw(cap / 2) {
+		t.Error("draw within stored energy failed")
+	}
+	if c.Draw(cap) {
+		t.Error("overdraw succeeded")
+	}
+}
+
+func TestCapacitorValidation(t *testing.T) {
+	if _, err := NewCapacitor(0, 3, 1); err == nil {
+		t.Error("zero capacitance accepted")
+	}
+	if _, err := NewCapacitor(1e-4, 1, 2); err == nil {
+		t.Error("Vmax < Vmin accepted")
+	}
+}
+
+func TestChargeSaturates(t *testing.T) {
+	c, _ := NewCapacitor(100e-6, 3.3, 1.8)
+	c.Charge(1*energy.Milliwatt, c.Capacity()*10)
+	if c.Stored() != c.Capacity() {
+		t.Error("charge did not saturate at capacity")
+	}
+}
+
+func harvestConfig(t *testing.T) (Config, flash.Spec) {
+	t.Helper()
+	// A small storage cap, as EH deployments use: the checkpoint is a
+	// large share of each on-period's budget, which is where cheaper
+	// approximate checkpoints matter.
+	c, err := NewCapacitor(0.001, 3.3, 1.8) // ≈3.8 mJ usable
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := flash.DefaultSpec()
+	spec.NumPages = 32
+	return Config{
+		Cap:          c,
+		HarvestPower: 5 * energy.Milliwatt,
+		CPU:          energy.CortexM0Plus(),
+		WorkCycles:   50_000,
+		StateBytes:   1024,
+		Seed:         99,
+	}, spec
+}
+
+func TestRunExactCheckpoints(t *testing.T) {
+	cfg, spec := harvestConfig(t)
+	dev := core.MustNewDevice(spec)
+	rep, err := Run(dev, cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OnPeriods != 20 {
+		t.Errorf("periods = %d", rep.OnPeriods)
+	}
+	if rep.WorkDone == 0 {
+		t.Error("no work persisted")
+	}
+	if rep.Checkpoints == 0 {
+		t.Error("no checkpoints")
+	}
+	if rep.CheckpointMAE != 0 {
+		t.Errorf("exact checkpoints introduced error %v", rep.CheckpointMAE)
+	}
+	if rep.HarvestTime <= 0 {
+		t.Error("no harvest time accounted")
+	}
+}
+
+// TestFlipBitIncreasesForwardProgress: with approximate checkpoints, the
+// same harvested energy must persist at least as much work — the §VI claim.
+func TestFlipBitIncreasesForwardProgress(t *testing.T) {
+	run := func(flipbit bool) Report {
+		cfg, spec := harvestConfig(t)
+		dev := core.MustNewDevice(spec)
+		if flipbit {
+			if err := dev.SetApproxRegion(0, spec.PageSize*spec.NumPages); err != nil {
+				t.Fatal(err)
+			}
+			if err := dev.SetWidth(bits.W8); err != nil {
+				t.Fatal(err)
+			}
+			dev.SetThreshold(3)
+		}
+		rep, err := Run(dev, cfg, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	exact := run(false)
+	fb := run(true)
+	if fb.WorkPerMillijoule() <= exact.WorkPerMillijoule() {
+		t.Errorf("FlipBit %.1f work/mJ <= exact %.1f", fb.WorkPerMillijoule(), exact.WorkPerMillijoule())
+	}
+	if fb.FlashEnergy >= exact.FlashEnergy {
+		t.Errorf("FlipBit flash energy %v >= exact %v", fb.FlashEnergy, exact.FlashEnergy)
+	}
+	if fb.CheckpointMAE <= 0 || fb.CheckpointMAE > 3.5 {
+		t.Errorf("FlipBit checkpoint MAE = %v, want in (0, 3.5]", fb.CheckpointMAE)
+	}
+}
+
+func TestRunNilCapacitor(t *testing.T) {
+	dev := core.MustNewDevice(flash.DefaultSpec())
+	if _, err := Run(dev, Config{}, 1); err == nil {
+		t.Error("nil capacitor accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package hw
+
+import (
+	"fmt"
+
+	"github.com/flipbit-sim/flipbit/internal/approx"
+	"github.com/flipbit-sim/flipbit/internal/gates"
+)
+
+// Two-level (PLA-style) slice synthesis. The paper describes the decision
+// block as "a truth table ... implemented through combinational logic"
+// (§III-B); this file builds that literal form: the slice's three outputs
+// are each minimized with Quine–McCluskey over the full input space and
+// instantiated as AND-OR planes. It exists alongside the structural slice
+// of slice.go so Table IV can compare implementation styles, and as a
+// second, independently derived implementation the tests can cross-check.
+
+// NewPLAUnit builds a width-bit approximation unit whose slices are
+// two-level synthesized for a fixed window size n. Practical for n <= 4
+// (the PLA input space is 2n+2 variables; beyond that the planes explode,
+// which is exactly why the structural form wins for n = 8).
+func NewPLAUnit(width, n int) (*Unit, error) {
+	if width <= 0 || width > 32 {
+		return nil, fmt.Errorf("hw: unit width must be 1..32, got %d", width)
+	}
+	if n < 1 || n > 4 {
+		return nil, fmt.Errorf("hw: PLA synthesis supported for n = 1..4, got %d", n)
+	}
+	covers := plaCovers(n)
+	c := gates.New()
+	e := c.Inputs("exact", width)
+	p := c.Inputs("previous", width)
+	zero := c.Const(false)
+	window := func(v []gates.Signal, i int) []gates.Signal {
+		w := make([]gates.Signal, n)
+		for k := 0; k < n; k++ {
+			idx := i - (n - 1 - k)
+			if idx >= 0 {
+				w[k] = v[idx]
+			} else {
+				w[k] = zero
+			}
+		}
+		return w
+	}
+	outs := make([]gates.Signal, width)
+	so, sz := zero, zero
+	for i := width - 1; i >= 0; i-- {
+		in := make([]gates.Signal, 0, 2*n+2)
+		in = append(in, window(e, i)...)
+		in = append(in, window(p, i)...)
+		in = append(in, so, sz)
+		outs[i] = gates.SynthesizeSOP(c, covers[0], in)
+		so2 := gates.SynthesizeSOP(c, covers[1], in)
+		sz2 := gates.SynthesizeSOP(c, covers[2], in)
+		so, sz = so2, sz2
+	}
+	for i := 0; i < width; i++ {
+		c.Output(fmt.Sprintf("approx%d", i), outs[i])
+	}
+	return &Unit{Circuit: c, Width: width, n: n}, nil
+}
+
+// plaCovers minimizes the three slice outputs (bit, setOnesOut,
+// setZerosOut) as functions of (eWin, pWin, setOnesIn, setZerosIn) using
+// the algorithmic truth table of internal/approx as the oracle.
+func plaCovers(n int) [3][]gates.Implicant {
+	table := approx.DeriveTable(n)
+	numIn := 2*n + 2
+	var covers [3][]gates.Implicant
+	for out := 0; out < 3; out++ {
+		out := out
+		tt := gates.NewTruthTable(numIn, func(v uint32) bool {
+			eWin := v & (1<<uint(n) - 1)
+			pWin := v >> uint(n) & (1<<uint(n) - 1)
+			so := v>>uint(2*n)&1 == 1
+			sz := v>>uint(2*n+1)&1 == 1
+			bit, oOnes, oZeros := table.Decide(eWin, pWin, so, sz)
+			switch out {
+			case 0:
+				return bit == 1
+			case 1:
+				return oOnes
+			default:
+				return oZeros
+			}
+		})
+		covers[out] = gates.Minimize(tt)
+	}
+	return covers
+}

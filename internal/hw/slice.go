@@ -1,0 +1,110 @@
+// Package hw builds the FlipBit hardware at gate level: the per-bit
+// approximation slice (Fig. 6), the 32-slice chain generating a whole value
+// (Fig. 7), the run-time-configurable 1..8-bit variant (§III-B), and the
+// error-tracking datapath (Fig. 9). Synthesis-style area/power reports
+// reproduce Table IV.
+//
+// Every circuit is verified bit-exact against the algorithmic reference in
+// internal/approx by the package tests — the hardware IS the algorithm.
+package hw
+
+import (
+	"fmt"
+
+	"github.com/flipbit-sim/flipbit/internal/gates"
+)
+
+// SliceIO names the boundary of one approximation slice. Window signals are
+// LSB-first: EWin[n-1] is the current ("top") bit, lower indices are the
+// lookahead bits below it.
+type SliceIO struct {
+	EWin, PWin []gates.Signal // n-bit windows of exact and previous
+	SetOnesIn  gates.Signal
+	SetZerosIn gates.Signal
+
+	Out         gates.Signal // approx bit for this position
+	SetOnesOut  gates.Signal
+	SetZerosOut gates.Signal
+}
+
+// BuildSlice instantiates one fixed-n approximation slice (Fig. 6) in c.
+//
+// The structural decomposition follows §III-A3's minimax rule directly.
+// With m = n-1 lookahead bits, the slice overshoots (sets the output when
+// exact's bit is 0) iff
+//
+//	2^m - eLow < eLow - g + 1   ⟺   2^m + g <= 2·eLow
+//
+// where g is the value Algorithm 1 could still recover inside the window.
+// The right-hand form is what the comparator implements.
+func BuildSlice(c *gates.Circuit, eWin, pWin []gates.Signal, setOnesIn, setZerosIn gates.Signal) SliceIO {
+	n := len(eWin)
+	if n == 0 || n != len(pWin) {
+		panic(fmt.Sprintf("hw: bad slice window widths %d/%d", len(eWin), len(pWin)))
+	}
+	m := n - 1
+	eTop, pTop := eWin[m], pWin[m]
+	eLow, pLow := eWin[:m], pWin[:m]
+
+	// Greedy recovery value g inside the window (MSB→LSB chain).
+	g := make([]gates.Signal, m)
+	s := c.Const(false)
+	for i := m - 1; i >= 0; i-- {
+		g[i] = c.And(pLow[i], c.Or(eLow[i], s))
+		s = c.Or(s, c.And(eLow[i], c.Not(pLow[i])))
+	}
+
+	// Comparator: overshoot = (2·eLow >= 2^m + g).
+	left := append([]gates.Signal{c.Const(false)}, eLow...) // 2·eLow, m+1 bits
+	right := make([]gates.Signal, 0, m+1)
+	right = append(right, g...)
+	right = append(right, c.Const(true)) // + 2^m
+	overshoot := c.Not(gates.LessThan(c, left, right))
+
+	notZi := c.Not(setZerosIn)
+	notSi := c.Not(setOnesIn)
+	notETop := c.Not(eTop)
+	takeOvershoot := c.AndN(pTop, notZi, notSi, notETop)
+
+	out := c.AndN(pTop, notZi, c.OrN(setOnesIn, eTop, overshoot))
+	setOnesOut := c.Or(setOnesIn, c.AndN(eTop, c.Not(pTop), notZi))
+	setZerosOut := c.Or(setZerosIn, c.And(takeOvershoot, overshoot))
+
+	return SliceIO{
+		EWin: eWin, PWin: pWin,
+		SetOnesIn: setOnesIn, SetZerosIn: setZerosIn,
+		Out: out, SetOnesOut: setOnesOut, SetZerosOut: setZerosOut,
+	}
+}
+
+// BuildConfigurableSlice instantiates the run-time configurable slice: a
+// fixed nmax = 8 slice whose seven lookahead inputs are masked by a 3-bit
+// configuration value cfg = n-1 (§III-B: "by tying the m least significant
+// exact and previous inputs to 0, we create the truth table for nmax − m").
+func BuildConfigurableSlice(c *gates.Circuit, eWin, pWin []gates.Signal, cfg []gates.Signal, setOnesIn, setZerosIn gates.Signal) SliceIO {
+	const nmax = 8
+	if len(eWin) != nmax || len(pWin) != nmax {
+		panic("hw: configurable slice needs 8-bit windows")
+	}
+	if len(cfg) != 3 {
+		panic("hw: configurable slice needs a 3-bit config")
+	}
+	// Lookahead input at window index j sits at distance d = 7-j below
+	// the top bit; it participates iff d <= cfg.
+	me := make([]gates.Signal, nmax)
+	mp := make([]gates.Signal, nmax)
+	me[nmax-1], mp[nmax-1] = eWin[nmax-1], pWin[nmax-1]
+	for j := 0; j < nmax-1; j++ {
+		en := cfgAtLeast(c, cfg, nmax-1-j)
+		me[j] = c.And(eWin[j], en)
+		mp[j] = c.And(pWin[j], en)
+	}
+	io := BuildSlice(c, me, mp, setOnesIn, setZerosIn)
+	io.EWin, io.PWin = eWin, pWin
+	return io
+}
+
+// cfgAtLeast returns (cfg >= k) for a 3-bit cfg and constant 1 <= k <= 7.
+func cfgAtLeast(c *gates.Circuit, cfg []gates.Signal, k int) gates.Signal {
+	return c.Not(gates.LessThan(c, cfg, gates.ConstWord(c, uint64(k), len(cfg))))
+}

@@ -1,0 +1,72 @@
+package hw
+
+import (
+	"fmt"
+
+	"github.com/flipbit-sim/flipbit/internal/gates"
+)
+
+// Tracker is the error-tracking datapath of Fig. 9: per committed value it
+// computes |exact − approx| and accumulates it; the accumulated sum is
+// compared against the threshold to decide whether the approximate buffer
+// may be programmed.
+//
+// The accumulator register is exposed as circuit inputs (acc) and outputs
+// (accNext) so one evaluation performs one accumulation step; the DFF nodes
+// on accNext make the flops visible to area/power reporting.
+type Tracker struct {
+	Circuit *gates.Circuit
+	Width   int // value width
+	AccBits int // accumulator width
+}
+
+// NewTracker builds the datapath for values of the given width with an
+// accumulator wide enough for a full page of worst-case errors: for a
+// 256-byte page of 8-bit values, 256 × 255 needs 16 bits; accBits adds
+// headroom for 16/32-bit configurations.
+func NewTracker(width, accBits int) (*Tracker, error) {
+	if width <= 0 || width > 32 {
+		return nil, fmt.Errorf("hw: tracker width must be 1..32, got %d", width)
+	}
+	if accBits < width+1 {
+		return nil, fmt.Errorf("hw: accumulator (%d bits) must exceed value width (%d)", accBits, width)
+	}
+	c := gates.New()
+	e := c.Inputs("exact", width)
+	a := c.Inputs("approx", width)
+	acc := c.Inputs("acc", accBits)
+	thr := c.Inputs("threshold", accBits)
+
+	diff := gates.AbsDiff(c, e, a)
+	wide := gates.ZeroExtend(c, diff, accBits)
+	next, _ := gates.AddRipple(c, acc, wide, c.Const(false))
+	over := c.Not(gates.LessThan(c, next, thr)) // accNext >= threshold
+	for i, s := range next {
+		c.Output(fmt.Sprintf("accNext%d", i), c.DFF(s))
+	}
+	c.Output("over", over)
+	return &Tracker{Circuit: c, Width: width, AccBits: accBits}, nil
+}
+
+// Step performs one accumulation: given the current accumulator value, an
+// (exact, approx) pair and the threshold, it returns the next accumulator
+// value and whether it reached the threshold.
+func (t *Tracker) Step(acc uint64, exact, approxVal uint32, threshold uint64) (uint64, bool) {
+	in := make([]bool, 2*t.Width+2*t.AccBits)
+	for i := 0; i < t.Width; i++ {
+		in[i] = exact&(1<<uint(i)) != 0
+		in[t.Width+i] = approxVal&(1<<uint(i)) != 0
+	}
+	for i := 0; i < t.AccBits; i++ {
+		in[2*t.Width+i] = acc&(1<<uint(i)) != 0
+		in[2*t.Width+t.AccBits+i] = threshold&(1<<uint(i)) != 0
+	}
+	out := t.Circuit.Eval(in)
+	var next uint64
+	for i := 0; i < t.AccBits; i++ {
+		if out[i] {
+			next |= 1 << uint(i)
+		}
+	}
+	return next, out[t.AccBits]
+}

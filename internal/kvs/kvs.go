@@ -1,0 +1,372 @@
+// Package kvs is a miniature log-structured key-value store over the flash
+// device — the "flash file system" family of §VII ([24,26,43,94]) reduced
+// to its essence so its costs can be measured against FlipBit's approach.
+//
+// Layout: every page begins with a 4-byte sequence number (all-ones while
+// the page is free); records append within pages:
+//
+//	magic(0xA5) | flags | keyLen | valLen(2, LE) | key | value | crc32(4, LE)
+//
+// The CRC covers magic..value, so a record torn by power loss is detected
+// and skipped at mount. Updates append a new record; the highest-sequence
+// copy of a key wins, and a flags bit marks tombstones. Garbage collection
+// copies a victim page's live records to the log head and erases the
+// victim — crash-safe, because the copies carry later sequence numbers.
+package kvs
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"github.com/flipbit-sim/flipbit/internal/core"
+)
+
+// Record format constants.
+const (
+	recMagic      = 0xA5
+	flagTombstone = 0x01
+
+	pageHeaderSize = 4
+	recHeaderSize  = 5 // magic + flags + keyLen + valLen(2)
+	crcSize        = 4
+
+	freeSeq = ^uint32(0)
+)
+
+// Errors.
+var (
+	ErrNotFound = errors.New("kvs: key not found")
+	ErrTooLarge = errors.New("kvs: record does not fit in a page")
+	ErrFull     = errors.New("kvs: store full even after compaction")
+	ErrBadKey   = errors.New("kvs: keys must be 1..255 bytes")
+)
+
+// location addresses the newest record for a key.
+type location struct {
+	seq  uint32 // sequence of the page holding it
+	page int
+	off  int // offset of the record within the page (past the page header)
+	size int // full record size in bytes
+	dead bool
+}
+
+// Store is a mounted key-value store.
+type Store struct {
+	dev *core.Device
+
+	index    map[string]location
+	pageSeq  []uint32 // sequence per page (freeSeq = free)
+	pageUsed []int    // bytes consumed per page (including header)
+	pageLive []int    // live record bytes per page
+	head     int      // page currently being appended to (-1 = none)
+	nextSeq  uint32
+	inGC     bool
+
+	// Stats.
+	compactions uint64
+}
+
+// Open mounts the store, scanning every page and rebuilding the index.
+// Torn records (bad CRC) and torn pages are skipped, so a store survives
+// power loss during writes.
+func Open(dev *core.Device) (*Store, error) {
+	s := &Store{
+		dev:      dev,
+		index:    make(map[string]location),
+		pageSeq:  make([]uint32, dev.Flash().Spec().NumPages),
+		pageUsed: make([]int, dev.Flash().Spec().NumPages),
+		pageLive: make([]int, dev.Flash().Spec().NumPages),
+		head:     -1,
+		nextSeq:  0,
+	}
+	type pageInfo struct {
+		page int
+		seq  uint32
+	}
+	var used []pageInfo
+	ps := dev.Flash().Spec().PageSize
+	buf := make([]byte, ps)
+	for p := 0; p < dev.Flash().Spec().NumPages; p++ {
+		if err := dev.Read(dev.Flash().PageBase(p), buf); err != nil {
+			return nil, err
+		}
+		seq := leU32(buf)
+		s.pageSeq[p] = seq
+		if seq == freeSeq {
+			continue
+		}
+		used = append(used, pageInfo{p, seq})
+		if seq >= s.nextSeq {
+			s.nextSeq = seq + 1
+		}
+	}
+	// Replay pages in sequence order so newer records win.
+	sort.Slice(used, func(i, j int) bool { return used[i].seq < used[j].seq })
+	for _, pi := range used {
+		if err := dev.Read(dev.Flash().PageBase(pi.page), buf); err != nil {
+			return nil, err
+		}
+		s.replayPage(pi.page, pi.seq, buf)
+	}
+	if len(used) > 0 {
+		last := used[len(used)-1]
+		// Resume appending into the newest page if it has room.
+		if s.pageUsed[last.page] < ps {
+			s.head = last.page
+		}
+	}
+	return s, nil
+}
+
+// replayPage parses the records of one page into the index.
+func (s *Store) replayPage(page int, seq uint32, buf []byte) {
+	ps := len(buf)
+	off := pageHeaderSize
+	for off+recHeaderSize+crcSize <= ps {
+		if buf[off] != recMagic {
+			break // free space or torn write
+		}
+		flags := buf[off+1]
+		keyLen := int(buf[off+2])
+		valLen := int(buf[off+3]) | int(buf[off+4])<<8
+		size := recHeaderSize + keyLen + valLen + crcSize
+		if keyLen == 0 || off+size > ps {
+			break // corrupt header; stop parsing this page
+		}
+		body := buf[off : off+recHeaderSize+keyLen+valLen]
+		want := leU32(buf[off+recHeaderSize+keyLen+valLen:])
+		if crc32.ChecksumIEEE(body) != want {
+			// Torn record: everything after it is unreliable.
+			break
+		}
+		key := string(buf[off+recHeaderSize : off+recHeaderSize+keyLen])
+		s.supersede(key)
+		loc := location{seq: seq, page: page, off: off, size: size, dead: flags&flagTombstone != 0}
+		// Tombstones stay indexed (dead) so garbage collection keeps
+		// copying them forward; dropping one while an older copy of
+		// the key survived elsewhere would resurrect the old value
+		// at the next mount.
+		s.index[key] = loc
+		s.pageLive[page] += size
+		off += size
+	}
+	s.pageUsed[page] = off
+}
+
+// supersede removes the previous copy of key (if any) from its page's
+// must-preserve accounting.
+func (s *Store) supersede(key string) {
+	if old, ok := s.index[key]; ok {
+		s.pageLive[old.page] -= old.size
+	}
+}
+
+// Get returns the value stored for key.
+func (s *Store) Get(key string) ([]byte, error) {
+	loc, ok := s.index[key]
+	if !ok || loc.dead {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	rec := make([]byte, loc.size)
+	base := s.dev.Flash().PageBase(loc.page)
+	if err := s.dev.Read(base+loc.off, rec); err != nil {
+		return nil, err
+	}
+	keyLen := int(rec[2])
+	valLen := int(rec[3]) | int(rec[4])<<8
+	val := make([]byte, valLen)
+	copy(val, rec[recHeaderSize+keyLen:recHeaderSize+keyLen+valLen])
+	return val, nil
+}
+
+// Put stores key → val, appending a new record.
+func (s *Store) Put(key string, val []byte) error {
+	return s.append(key, val, 0)
+}
+
+// Delete removes key by appending a tombstone. Deleting an absent or
+// already-deleted key is a no-op.
+func (s *Store) Delete(key string) error {
+	if loc, ok := s.index[key]; !ok || loc.dead {
+		return nil
+	}
+	return s.append(key, nil, flagTombstone)
+}
+
+// Keys returns the live keys in sorted order.
+func (s *Store) Keys() []string {
+	out := make([]string, 0, len(s.index))
+	for k, loc := range s.index {
+		if !loc.dead {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return len(s.Keys()) }
+
+// Compactions returns how many GC passes have run.
+func (s *Store) Compactions() uint64 { return s.compactions }
+
+// append encodes and writes one record, garbage collecting as needed.
+func (s *Store) append(key string, val []byte, flags byte) error {
+	if len(key) == 0 || len(key) > 255 {
+		return fmt.Errorf("%w: %d bytes", ErrBadKey, len(key))
+	}
+	ps := s.dev.Flash().Spec().PageSize
+	size := recHeaderSize + len(key) + len(val) + crcSize
+	if pageHeaderSize+size > ps {
+		return fmt.Errorf("%w: %d bytes in a %d-byte page", ErrTooLarge, size, ps)
+	}
+	rec := make([]byte, size)
+	rec[0] = recMagic
+	rec[1] = flags
+	rec[2] = byte(len(key))
+	rec[3] = byte(len(val))
+	rec[4] = byte(len(val) >> 8)
+	copy(rec[recHeaderSize:], key)
+	copy(rec[recHeaderSize+len(key):], val)
+	putLEU32(rec[recHeaderSize+len(key)+len(val):], crc32.ChecksumIEEE(rec[:recHeaderSize+len(key)+len(val)]))
+
+	for attempt := 0; attempt < 2; attempt++ {
+		page, off, err := s.reserve(size)
+		if err == nil {
+			return s.commit(key, page, off, rec, flags)
+		}
+		if !errors.Is(err, ErrFull) || attempt == 1 || s.inGC {
+			return err
+		}
+		if err := s.gc(); err != nil {
+			return err
+		}
+	}
+	return ErrFull
+}
+
+// reserve finds space for a record, opening a fresh page when needed.
+// One free page is always held back as the garbage collector's copy
+// target; only GC itself may consume it.
+func (s *Store) reserve(size int) (page, off int, err error) {
+	ps := s.dev.Flash().Spec().PageSize
+	if s.head >= 0 && s.pageSeq[s.head] != freeSeq && s.pageUsed[s.head]+size <= ps {
+		return s.head, s.pageUsed[s.head], nil
+	}
+	var free []int
+	for p := range s.pageSeq {
+		if s.pageSeq[p] == freeSeq {
+			free = append(free, p)
+		}
+	}
+	minFree := 2
+	if s.inGC {
+		minFree = 1
+	}
+	if len(free) < minFree {
+		return 0, 0, ErrFull
+	}
+	if err := s.openPage(free[0]); err != nil {
+		return 0, 0, err
+	}
+	return free[0], s.pageUsed[free[0]], nil
+}
+
+// openPage stamps a free page with the next sequence number.
+func (s *Store) openPage(p int) error {
+	var hdr [pageHeaderSize]byte
+	putLEU32(hdr[:], s.nextSeq)
+	if err := s.dev.Write(s.dev.Flash().PageBase(p), hdr[:]); err != nil {
+		return err
+	}
+	s.pageSeq[p] = s.nextSeq
+	s.pageUsed[p] = pageHeaderSize
+	s.pageLive[p] = 0
+	s.nextSeq++
+	s.head = p
+	return nil
+}
+
+// commit writes the record bytes and updates the index.
+func (s *Store) commit(key string, page, off int, rec []byte, flags byte) error {
+	base := s.dev.Flash().PageBase(page)
+	if err := s.dev.Write(base+off, rec); err != nil {
+		return err
+	}
+	s.pageUsed[page] = off + len(rec)
+	s.supersede(key)
+	s.index[key] = location{
+		seq: s.pageSeq[page], page: page, off: off, size: len(rec),
+		dead: flags&flagTombstone != 0,
+	}
+	s.pageLive[page] += len(rec)
+	return nil
+}
+
+// gc erases the page with the least live data after copying its live
+// records to the log head. Crash-safe: copies carry later sequence
+// numbers, so duplicates resolve in their favour at mount.
+func (s *Store) gc() error {
+	s.inGC = true
+	defer func() { s.inGC = false }()
+	victim, best := -1, 1<<30
+	for p := range s.pageSeq {
+		if s.pageSeq[p] == freeSeq || p == s.head {
+			continue
+		}
+		if s.pageLive[p] < best {
+			victim, best = p, s.pageLive[p]
+		}
+	}
+	if victim < 0 {
+		return ErrFull
+	}
+	// Copy the victim's must-preserve records (live values AND
+	// tombstones) to the log head; copies carry later sequence numbers,
+	// so a crash between copy and erase resolves in their favour.
+	keys := make([]string, 0)
+	for k, loc := range s.index {
+		if loc.page == victim {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		loc := s.index[key]
+		if loc.dead {
+			if err := s.append(key, nil, flagTombstone); err != nil {
+				return err
+			}
+			continue
+		}
+		val, err := s.Get(key)
+		if err != nil {
+			return err
+		}
+		if err := s.append(key, val, 0); err != nil {
+			return err
+		}
+	}
+	if err := s.dev.Flash().ErasePage(victim); err != nil {
+		return err
+	}
+	s.pageSeq[victim] = freeSeq
+	s.pageUsed[victim] = 0
+	s.pageLive[victim] = 0
+	if s.head == victim {
+		s.head = -1
+	}
+	s.compactions++
+	return nil
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putLEU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}

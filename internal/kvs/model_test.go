@@ -1,0 +1,88 @@
+package kvs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/flipbit-sim/flipbit/internal/core"
+	"github.com/flipbit-sim/flipbit/internal/flash"
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+// TestModelBasedOperations drives the store with a random sequence of
+// Put/Delete/Get/remount operations mirrored against an in-memory map.
+// After every step the store must agree with the model; ErrFull is the only
+// tolerated divergence (the model has no capacity), at which point the
+// failed mutation is rolled back in the model too.
+func TestModelBasedOperations(t *testing.T) {
+	spec := flash.DefaultSpec()
+	spec.PageSize = 128
+	spec.NumPages = 10
+	dev := core.MustNewDevice(spec)
+	store, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[string][]byte{}
+	rng := xrand.New(20260706)
+	keys := make([]string, 12)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%02d", i)
+	}
+
+	for step := 0; step < 1500; step++ {
+		k := keys[rng.Intn(len(keys))]
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // Put
+			v := make([]byte, rng.Intn(30))
+			for i := range v {
+				v[i] = rng.Byte()
+			}
+			err := store.Put(k, v)
+			if errors.Is(err, ErrFull) {
+				continue // model unchanged
+			}
+			if err != nil {
+				t.Fatalf("step %d: put: %v", step, err)
+			}
+			model[k] = v
+		case 5: // Delete
+			err := store.Delete(k)
+			if errors.Is(err, ErrFull) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d: delete: %v", step, err)
+			}
+			delete(model, k)
+		case 6, 7, 8: // Get
+			got, err := store.Get(k)
+			want, ok := model[k]
+			if !ok {
+				if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("step %d: Get(%q) = %v, want ErrNotFound", step, k, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d: Get(%q): %v", step, k, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("step %d: Get(%q) = %v, want %v", step, k, got, want)
+			}
+		case 9: // Remount (reboot)
+			store, err = Open(dev)
+			if err != nil {
+				t.Fatalf("step %d: remount: %v", step, err)
+			}
+		}
+		if store.Len() != len(model) {
+			t.Fatalf("step %d: Len %d != model %d (keys %v vs %v)",
+				step, store.Len(), len(model), store.Keys(), model)
+		}
+	}
+	t.Logf("final: %d keys, %d compactions, %d erases",
+		store.Len(), store.Compactions(), dev.Flash().Stats().Erases)
+}

@@ -1,0 +1,380 @@
+package mcu
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates EM0 assembly into a little-endian memory image
+// positioned at base. Supported syntax:
+//
+//	label:                      ; comments with ';' or '//'
+//	    movi r0, 42             ; 16-bit signed immediate
+//	    movt r0, 0x2000         ; set high halfword
+//	    li   r1, 0x20000000     ; pseudo: movi+movt (also accepts labels)
+//	    li   r1, buffer
+//	    mov/add/sub/mul/and/orr/eor/lsl/lsr/asr rd, rn, rm
+//	    addi rd, rn, #imm
+//	    cmp rn, rm   /  cmpi rn, #imm
+//	    b/beq/bne/blt/bge/bgt/ble/bl label
+//	    bx lr
+//	    ldr/ldrh/ldrb rd, [rn]  or  [rn, #imm]
+//	    str/strh/strb rd, [rn, #imm]
+//	    halt / nop
+//	    .word 1, 2, 0xFF        ; 32-bit data
+//	    .byte 1, 2, 3           ; 8-bit data (next instruction realigns)
+//
+// Registers r0..r15; sp = r13, lr = r14. '#' before immediates is optional.
+func Assemble(src string, base uint32) ([]byte, error) {
+	type item struct {
+		line   int
+		label  string // set for label definitions
+		mnem   string
+		args   []string
+		offset int
+	}
+	var items []item
+	offset := 0
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// A line may carry "label:" followed by an instruction.
+		for {
+			if i := strings.Index(line, ":"); i >= 0 && !strings.ContainsAny(line[:i], " \t") {
+				items = append(items, item{line: lineNo + 1, label: line[:i], offset: offset})
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		mnem := strings.ToLower(fields[0])
+		var args []string
+		if len(fields) > 1 {
+			args = splitArgs(fields[1])
+		}
+		it := item{line: lineNo + 1, mnem: mnem, args: args, offset: offset}
+		switch mnem {
+		case ".word":
+			offset += 4 * len(args)
+		case ".byte":
+			offset += len(args)
+			offset = (offset + 3) &^ 3 // realign
+		case "li":
+			offset += 8 // movi + movt
+		default:
+			offset += 4
+		}
+		items = append(items, it)
+	}
+
+	labels := make(map[string]uint32)
+	for _, it := range items {
+		if it.label != "" {
+			if _, dup := labels[it.label]; dup {
+				return nil, fmt.Errorf("asm line %d: duplicate label %q", it.line, it.label)
+			}
+			labels[it.label] = base + uint32(it.offset)
+		}
+	}
+
+	image := make([]byte, offset)
+	emitWord := func(off int, w uint32) {
+		leStore(image[off:], w, 4)
+	}
+	for _, it := range items {
+		if it.mnem == "" {
+			continue
+		}
+		err := func() error {
+			switch it.mnem {
+			case ".word":
+				for i, a := range it.args {
+					v, err := immOrLabel(a, labels)
+					if err != nil {
+						return err
+					}
+					emitWord(it.offset+4*i, uint32(v))
+				}
+				return nil
+			case ".byte":
+				for i, a := range it.args {
+					v, err := immOrLabel(a, labels)
+					if err != nil {
+						return err
+					}
+					image[it.offset+i] = byte(v)
+				}
+				return nil
+			case "li":
+				if len(it.args) != 2 {
+					return fmt.Errorf("li needs rd, imm")
+				}
+				rd, err := reg(it.args[0])
+				if err != nil {
+					return err
+				}
+				v, err := immOrLabel(it.args[1], labels)
+				if err != nil {
+					return err
+				}
+				emitWord(it.offset, Encode(OpMovi, rd, 0, 0, int32(v&0xFFFF)))
+				emitWord(it.offset+4, Encode(OpMovt, rd, 0, 0, int32(v>>16&0xFFFF)))
+				return nil
+			}
+			w, err := encodeInstr(it.mnem, it.args, base+uint32(it.offset), labels)
+			if err != nil {
+				return err
+			}
+			emitWord(it.offset, w)
+			return nil
+		}()
+		if err != nil {
+			return nil, fmt.Errorf("asm line %d: %w", it.line, err)
+		}
+	}
+	return image, nil
+}
+
+// MustAssemble is Assemble for programs known to be valid.
+func MustAssemble(src string, base uint32) []byte {
+	img, err := Assemble(src, base)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+var mnem3 = map[string]Op{
+	"add": OpAdd, "sub": OpSub, "mul": OpMul, "and": OpAnd,
+	"orr": OpOrr, "eor": OpEor, "lsl": OpLsl, "lsr": OpLsr, "asr": OpAsr,
+}
+
+var mnemBranch = map[string]Op{
+	"b": OpB, "beq": OpBeq, "bne": OpBne, "blt": OpBlt,
+	"bge": OpBge, "bgt": OpBgt, "ble": OpBle, "bl": OpBl,
+}
+
+var mnemMem = map[string]Op{
+	"ldr": OpLdr, "ldrh": OpLdrh, "ldrb": OpLdrb,
+	"str": OpStr, "strh": OpStrh, "strb": OpStrb,
+}
+
+// arity gives the required operand count per mnemonic; memory ops are
+// checked separately because their bracketed operand may split on commas.
+var arity = map[string]int{
+	"halt": 0, "nop": 0,
+	"movi": 2, "movt": 2, "mov": 2, "li": 2,
+	"addi": 3, "cmp": 2, "cmpi": 2, "bx": 1,
+}
+
+func encodeInstr(mnem string, args []string, pc uint32, labels map[string]uint32) (uint32, error) {
+	if want, ok := arity[mnem]; ok && len(args) != want {
+		return 0, fmt.Errorf("%s takes %d operand(s), got %d", mnem, want, len(args))
+	}
+	if _, ok := mnem3[mnem]; ok && len(args) != 3 {
+		return 0, fmt.Errorf("%s takes 3 operands, got %d", mnem, len(args))
+	}
+	switch mnem {
+	case "halt":
+		return Encode(OpHalt, 0, 0, 0, 0), nil
+	case "nop":
+		return Encode(OpNop, 0, 0, 0, 0), nil
+	case "movi", "movt":
+		rd, err := reg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		v, err := immOrLabel(args[1], labels)
+		if err != nil {
+			return 0, err
+		}
+		if v < -(1<<15) || v > 0xFFFF {
+			return 0, fmt.Errorf("%s immediate %d out of 16-bit range (use li)", mnem, v)
+		}
+		op := OpMovi
+		if mnem == "movt" {
+			op = OpMovt
+		}
+		return Encode(op, rd, 0, 0, int32(v)), nil
+	case "mov":
+		rd, err := reg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		rn, err := reg(args[1])
+		if err != nil {
+			return 0, err
+		}
+		return Encode(OpMov, rd, rn, 0, 0), nil
+	case "addi":
+		rd, err := reg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		rn, err := reg(args[1])
+		if err != nil {
+			return 0, err
+		}
+		v, err := immOrLabel(args[2], labels)
+		if err != nil {
+			return 0, err
+		}
+		if v < -(1<<13) || v >= 1<<13 {
+			return 0, fmt.Errorf("addi immediate %d out of 14-bit range", v)
+		}
+		return Encode(OpAddi, rd, rn, 0, int32(v)), nil
+	case "cmp":
+		rn, err := reg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		rm, err := reg(args[1])
+		if err != nil {
+			return 0, err
+		}
+		return Encode(OpCmp, 0, rn, rm, 0), nil
+	case "cmpi":
+		rn, err := reg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		v, err := immOrLabel(args[1], labels)
+		if err != nil {
+			return 0, err
+		}
+		if v < -(1<<13) || v >= 1<<13 {
+			return 0, fmt.Errorf("cmpi immediate %d out of 14-bit range", v)
+		}
+		return Encode(OpCmpi, 0, rn, 0, int32(v)), nil
+	case "bx":
+		rn, err := reg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		return Encode(OpBx, 0, rn, 0, 0), nil
+	}
+	if op, ok := mnem3[mnem]; ok {
+		rd, err := reg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		rn, err := reg(args[1])
+		if err != nil {
+			return 0, err
+		}
+		rm, err := reg(args[2])
+		if err != nil {
+			return 0, err
+		}
+		return Encode(op, rd, rn, rm, 0), nil
+	}
+	if op, ok := mnemBranch[mnem]; ok {
+		if len(args) != 1 {
+			return 0, fmt.Errorf("%s needs a target", mnem)
+		}
+		target, err := immOrLabel(args[0], labels)
+		if err != nil {
+			return 0, err
+		}
+		delta := (int64(target) - int64(pc) - 4) / 4
+		if delta < -(1<<25) || delta >= 1<<25 {
+			return 0, fmt.Errorf("branch target out of range")
+		}
+		return Encode(op, 0, 0, 0, int32(delta)), nil
+	}
+	if op, ok := mnemMem[mnem]; ok {
+		if len(args) < 2 {
+			return 0, fmt.Errorf("%s needs rd, [rn, #imm]", mnem)
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		rn, off, err := memOperand(strings.Join(args[1:], ","))
+		if err != nil {
+			return 0, err
+		}
+		if off < -(1<<13) || off >= 1<<13 {
+			return 0, fmt.Errorf("memory offset %d out of 14-bit range", off)
+		}
+		return Encode(op, rd, rn, 0, int32(off)), nil
+	}
+	return 0, fmt.Errorf("unknown mnemonic %q", mnem)
+}
+
+func splitArgs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func reg(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "sp":
+		return RegSP, nil
+	case "lr":
+		return RegLR, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < 16 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func immOrLabel(s string, labels map[string]uint32) (int64, error) {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), "#"))
+	if v, ok := labels[s]; ok {
+		return int64(v), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate or unknown label %q", s)
+	}
+	return v, nil
+}
+
+// memOperand parses "[rn]" or "[rn, #imm]".
+func memOperand(s string) (int, int64, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(s, "["), "]")
+	parts := strings.Split(inner, ",")
+	rn, err := reg(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(parts) == 1 {
+		return rn, 0, nil
+	}
+	off, err := immOrLabel(parts[1], nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rn, off, nil
+}

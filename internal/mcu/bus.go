@@ -1,0 +1,226 @@
+package mcu
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"github.com/flipbit-sim/flipbit/internal/core"
+	"github.com/flipbit-sim/flipbit/internal/flash"
+)
+
+// Memory map of the EM0 system.
+const (
+	SRAMBase  uint32 = 0x1000_0000
+	FlashBase uint32 = 0x2000_0000
+	MMIOBase  uint32 = 0x4000_0000
+)
+
+// MMIO register offsets. The first four are the FlipBit configuration
+// registers of §III-C, memory-mapped exactly as the paper describes.
+const (
+	MMIOApproxStart = 0x00
+	MMIOApproxEnd   = 0x04
+	MMIOWidth       = 0x08
+	MMIOThreshold   = 0x0C
+	MMIOFlush       = 0x10 // write: flush the flash write-combining buffer
+	MMIOConsole     = 0x14 // write: append low byte to the console
+)
+
+// mmioSize bounds the MMIO window; accesses past it fault.
+const mmioSize = 0x1000
+
+// ErrBusFault is returned for accesses outside any mapped region.
+var ErrBusFault = errors.New("mcu: bus fault")
+
+// Bus routes CPU accesses to SRAM, the flash device (XIP reads, buffered
+// writes) and MMIO. Flash stores are write-combined per page — the CPU
+// fills the chip's SRAM write buffer and the page commits when the access
+// stream leaves the page or MMIOFlush is written — matching how the flash
+// datasheet's buffered writes and FlipBit's dual-buffer session behave.
+type Bus struct {
+	SRAM    []byte
+	Flash   *core.Device
+	Console bytes.Buffer
+
+	// Write-combining state for flash stores.
+	wcPage  int // -1 when empty
+	wcStart int // lowest dirty offset within the page
+	wcEnd   int // one past the highest dirty offset
+	wcData  []byte
+}
+
+// NewBus builds a bus with the given SRAM size over a FlipBit device.
+func NewBus(sramSize int, dev *core.Device) *Bus {
+	return &Bus{
+		SRAM:   make([]byte, sramSize),
+		Flash:  dev,
+		wcPage: -1,
+		wcData: make([]byte, dev.Flash().Spec().PageSize),
+	}
+}
+
+// LoadProgram copies a program image into memory at addr (SRAM or flash).
+// Flash images are installed with an exact write and do not count toward
+// workload statistics (call ResetStats afterwards if needed).
+func (b *Bus) LoadProgram(addr uint32, image []byte) error {
+	switch {
+	case addr >= SRAMBase && addr+uint32(len(image)) <= SRAMBase+uint32(len(b.SRAM)):
+		copy(b.SRAM[addr-SRAMBase:], image)
+		return nil
+	case addr >= FlashBase && int(addr-FlashBase)+len(image) <= b.Flash.Flash().Spec().Size():
+		return b.Flash.Write(int(addr-FlashBase), image)
+	default:
+		return fmt.Errorf("%w: program image at %#x (%d bytes)", ErrBusFault, addr, len(image))
+	}
+}
+
+// Load reads size bytes (1, 2 or 4) little-endian from addr.
+func (b *Bus) Load(addr uint32, size int) (uint32, error) {
+	switch {
+	case b.inSRAM(addr, size):
+		return leLoad(b.SRAM[addr-SRAMBase:], size), nil
+	case b.inFlash(addr, size):
+		off := int(addr - FlashBase)
+		// Reading a page with pending combined writes observes the
+		// buffered bytes (the chip serves reads from its buffer).
+		if b.pendingOverlap(off, size) {
+			rel := off - b.Flash.Flash().PageBase(b.wcPage)
+			return leLoad(b.wcData[rel:], size), nil
+		}
+		buf := make([]byte, size)
+		if err := b.Flash.Read(off, buf); err != nil {
+			return 0, err
+		}
+		return leLoad(buf, size), nil
+	case addr >= MMIOBase && addr < MMIOBase+mmioSize:
+		return b.mmioRead(addr - MMIOBase), nil
+	default:
+		return 0, fmt.Errorf("%w: load %#x", ErrBusFault, addr)
+	}
+}
+
+// Store writes size bytes (1, 2 or 4) little-endian to addr.
+func (b *Bus) Store(addr uint32, val uint32, size int) error {
+	switch {
+	case b.inSRAM(addr, size):
+		leStore(b.SRAM[addr-SRAMBase:], val, size)
+		return nil
+	case b.inFlash(addr, size):
+		return b.flashStore(int(addr-FlashBase), val, size)
+	case addr >= MMIOBase && addr < MMIOBase+mmioSize:
+		return b.mmioWrite(addr-MMIOBase, val)
+	default:
+		return fmt.Errorf("%w: store %#x", ErrBusFault, addr)
+	}
+}
+
+// Flush commits any pending write-combined flash page.
+func (b *Bus) Flush() error {
+	if b.wcPage < 0 {
+		return nil
+	}
+	base := b.Flash.Flash().PageBase(b.wcPage)
+	start, end := b.wcStart, b.wcEnd
+	b.wcPage = -1
+	if start >= end {
+		return nil
+	}
+	return b.Flash.Write(base+start, b.wcData[start:end])
+}
+
+func (b *Bus) inSRAM(addr uint32, size int) bool {
+	return addr >= SRAMBase && addr+uint32(size) <= SRAMBase+uint32(len(b.SRAM))
+}
+
+func (b *Bus) inFlash(addr uint32, size int) bool {
+	return addr >= FlashBase && int(addr-FlashBase)+size <= b.Flash.Flash().Spec().Size()
+}
+
+// flashStore adds a store to the write-combining buffer, committing the
+// previous page when the stream moves on.
+func (b *Bus) flashStore(off int, val uint32, size int) error {
+	dev := b.Flash.Flash()
+	page := dev.PageOf(off)
+	if b.wcPage >= 0 && b.wcPage != page {
+		if err := b.Flush(); err != nil {
+			return err
+		}
+	}
+	if b.wcPage < 0 {
+		b.wcPage = page
+		// Seed the buffer with current content so sub-page commits
+		// write back unmodified neighbours faithfully.
+		dev.PeekPage(page, b.wcData)
+		b.wcStart, b.wcEnd = dev.Spec().PageSize, 0
+	}
+	rel := off - dev.PageBase(page)
+	leStore(b.wcData[rel:], val, size)
+	if rel < b.wcStart {
+		b.wcStart = rel
+	}
+	if rel+size > b.wcEnd {
+		b.wcEnd = rel + size
+	}
+	return nil
+}
+
+func (b *Bus) pendingOverlap(off, size int) bool {
+	if b.wcPage < 0 {
+		return false
+	}
+	base := b.Flash.Flash().PageBase(b.wcPage)
+	return off >= base && off+size <= base+b.Flash.Flash().Spec().PageSize
+}
+
+func (b *Bus) mmioRead(off uint32) uint32 {
+	switch off {
+	case MMIOApproxStart:
+		return b.Flash.ReadReg(core.RegApproxStart)
+	case MMIOApproxEnd:
+		return b.Flash.ReadReg(core.RegApproxEnd)
+	case MMIOWidth:
+		return b.Flash.ReadReg(core.RegWidth)
+	case MMIOThreshold:
+		return b.Flash.ReadReg(core.RegThreshold)
+	default:
+		return 0
+	}
+}
+
+func (b *Bus) mmioWrite(off, val uint32) error {
+	switch off {
+	case MMIOApproxStart:
+		return b.Flash.WriteReg(core.RegApproxStart, val)
+	case MMIOApproxEnd:
+		return b.Flash.WriteReg(core.RegApproxEnd, val)
+	case MMIOWidth:
+		return b.Flash.WriteReg(core.RegWidth, val)
+	case MMIOThreshold:
+		return b.Flash.WriteReg(core.RegThreshold, val)
+	case MMIOFlush:
+		return b.Flush()
+	case MMIOConsole:
+		b.Console.WriteByte(byte(val))
+		return nil
+	default:
+		return fmt.Errorf("%w: MMIO write %#x", ErrBusFault, MMIOBase+off)
+	}
+}
+
+// FlashStats returns the flash device's operation ledger.
+func (b *Bus) FlashStats() flash.Stats { return b.Flash.Flash().Stats() }
+
+func leLoad(b []byte, size int) uint32 {
+	var v uint32
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint32(b[i])
+	}
+	return v
+}
+
+func leStore(b []byte, v uint32, size int) {
+	for i := 0; i < size; i++ {
+		b[i] = byte(v >> uint(8*i))
+	}
+}

@@ -1,0 +1,174 @@
+package mcu
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/flipbit-sim/flipbit/internal/energy"
+)
+
+// Register conventions.
+const (
+	RegSP = 13
+	RegLR = 14
+)
+
+// Cycle costs. The EM0 follows the M0+'s simple pipeline: one cycle per
+// ALU operation, an extra cycle for taken branches, two cycles for memory
+// accesses (bus wait states for slow devices are charged by the device
+// model's latency, not here).
+const (
+	cyclesALU    = 1
+	cyclesBranch = 2
+	cyclesMem    = 2
+)
+
+// ErrHalted is returned when stepping a halted CPU.
+var ErrHalted = errors.New("mcu: cpu halted")
+
+// ErrRunaway is returned by Run when the step budget is exhausted.
+var ErrRunaway = errors.New("mcu: step budget exhausted")
+
+// CPU is one EM0 core attached to a bus.
+type CPU struct {
+	R      [16]uint32
+	PC     uint32
+	Cycles uint64
+	Halted bool
+
+	Bus   *Bus
+	Model energy.CPUModel
+
+	cmpA, cmpB int32
+}
+
+// NewCPU builds a core starting at entry, with the M0+ power model.
+func NewCPU(bus *Bus, entry uint32) *CPU {
+	return &CPU{Bus: bus, PC: entry, Model: energy.CortexM0Plus()}
+}
+
+// Energy returns the CPU energy consumed so far (excludes flash energy,
+// which the flash device ledger tracks).
+func (c *CPU) Energy() energy.Energy { return c.Model.EnergyFor(c.Cycles) }
+
+// Step executes one instruction.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return ErrHalted
+	}
+	word, err := c.Bus.Load(c.PC, 4)
+	if err != nil {
+		return fmt.Errorf("fetch at %#x: %w", c.PC, err)
+	}
+	in := Decode(word)
+	next := c.PC + 4
+	cycles := uint64(cyclesALU)
+
+	switch in.Op {
+	case OpHalt:
+		c.Halted = true
+		// Leaving the core flushes any pending buffered flash write.
+		if err := c.Bus.Flush(); err != nil {
+			return err
+		}
+	case OpNop:
+	case OpMovi:
+		c.R[in.Rd] = uint32(in.Imm)
+	case OpMovt:
+		c.R[in.Rd] = c.R[in.Rd]&0xFFFF | uint32(in.Imm)<<16
+	case OpMov:
+		c.R[in.Rd] = c.R[in.Rn]
+	case OpAdd:
+		c.R[in.Rd] = c.R[in.Rn] + c.R[in.Rm]
+	case OpSub:
+		c.R[in.Rd] = c.R[in.Rn] - c.R[in.Rm]
+	case OpMul:
+		c.R[in.Rd] = c.R[in.Rn] * c.R[in.Rm]
+	case OpAnd:
+		c.R[in.Rd] = c.R[in.Rn] & c.R[in.Rm]
+	case OpOrr:
+		c.R[in.Rd] = c.R[in.Rn] | c.R[in.Rm]
+	case OpEor:
+		c.R[in.Rd] = c.R[in.Rn] ^ c.R[in.Rm]
+	case OpLsl:
+		c.R[in.Rd] = c.R[in.Rn] << (c.R[in.Rm] & 31)
+	case OpLsr:
+		c.R[in.Rd] = c.R[in.Rn] >> (c.R[in.Rm] & 31)
+	case OpAsr:
+		c.R[in.Rd] = uint32(int32(c.R[in.Rn]) >> (c.R[in.Rm] & 31))
+	case OpAddi:
+		c.R[in.Rd] = c.R[in.Rn] + uint32(in.Imm)
+	case OpCmp:
+		c.cmpA, c.cmpB = int32(c.R[in.Rn]), int32(c.R[in.Rm])
+	case OpCmpi:
+		c.cmpA, c.cmpB = int32(c.R[in.Rn]), in.Imm
+	case OpB, OpBeq, OpBne, OpBlt, OpBge, OpBgt, OpBle, OpBl:
+		if c.takeBranch(in.Op) {
+			if in.Op == OpBl {
+				c.R[RegLR] = next
+			}
+			next = uint32(int64(c.PC) + 4 + int64(in.Imm)*4)
+			cycles = cyclesBranch
+		}
+	case OpBx:
+		next = c.R[in.Rn]
+		cycles = cyclesBranch
+	case OpLdr, OpLdrh, OpLdrb:
+		size := map[Op]int{OpLdr: 4, OpLdrh: 2, OpLdrb: 1}[in.Op]
+		v, err := c.Bus.Load(c.R[in.Rn]+uint32(in.Imm), size)
+		if err != nil {
+			return fmt.Errorf("pc %#x: %w", c.PC, err)
+		}
+		c.R[in.Rd] = v
+		cycles = cyclesMem
+	case OpStr, OpStrh, OpStrb:
+		size := map[Op]int{OpStr: 4, OpStrh: 2, OpStrb: 1}[in.Op]
+		if err := c.Bus.Store(c.R[in.Rn]+uint32(in.Imm), c.R[in.Rd], size); err != nil {
+			return fmt.Errorf("pc %#x: %w", c.PC, err)
+		}
+		cycles = cyclesMem
+	default:
+		return fmt.Errorf("mcu: illegal instruction %#x at %#x", word, c.PC)
+	}
+
+	c.PC = next
+	c.Cycles += cycles
+	return nil
+}
+
+func (c *CPU) takeBranch(op Op) bool {
+	switch op {
+	case OpB, OpBl:
+		return true
+	case OpBeq:
+		return c.cmpA == c.cmpB
+	case OpBne:
+		return c.cmpA != c.cmpB
+	case OpBlt:
+		return c.cmpA < c.cmpB
+	case OpBge:
+		return c.cmpA >= c.cmpB
+	case OpBgt:
+		return c.cmpA > c.cmpB
+	case OpBle:
+		return c.cmpA <= c.cmpB
+	default:
+		return false
+	}
+}
+
+// Run steps the CPU until it halts or maxSteps instructions have executed.
+func (c *CPU) Run(maxSteps int) error {
+	for i := 0; i < maxSteps; i++ {
+		if c.Halted {
+			return nil
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	if c.Halted {
+		return nil
+	}
+	return fmt.Errorf("%w after %d steps at pc %#x", ErrRunaway, maxSteps, c.PC)
+}

@@ -1,0 +1,114 @@
+package mcu
+
+import (
+	"testing"
+
+	"github.com/flipbit-sim/flipbit/internal/core"
+	"github.com/flipbit-sim/flipbit/internal/flash"
+)
+
+// TestMCUPathMatchesDirectPath cross-validates the two ways of driving the
+// flash system: firmware running on the EM0 core (stores through the bus's
+// write-combining buffer) and the direct Go-level device API used by the
+// experiment harness. Both write the same drifting data stream into the
+// same approximatable region, so the controller must make identical
+// decisions and the ledgers must agree on programs, erases and energy
+// (modulo the MCU's XIP instruction fetches, which only add reads).
+func TestMCUPathMatchesDirectPath(t *testing.T) {
+	spec := flash.DefaultSpec()
+	spec.NumPages = 64
+
+	// The data stream: two passes over a 512-byte region; pass p byte i
+	// holds (i*13 + p*3) & 0xFF — the xipdevice example's pattern.
+	value := func(pass, i int) byte { return byte(i*13 + pass*3) }
+
+	// --- Direct path ---
+	direct := core.MustNewDevice(spec)
+	if err := direct.SetApproxRegion(0, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	direct.SetThreshold(4)
+	buf := make([]byte, 512)
+	for pass := 0; pass < 2; pass++ {
+		for i := range buf {
+			buf[i] = value(pass, i)
+		}
+		if err := direct.Write(0, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	directStats := direct.Flash().Stats()
+	directCtrl := direct.Stats()
+
+	// --- MCU path: same stream, computed and stored by firmware ---
+	mcuDev := core.MustNewDevice(spec)
+	bus := NewBus(4096, mcuDev)
+	img := MustAssemble(`
+		li   r1, 0x40000000
+		movi r0, 0
+		str  r0, [r1, 0]
+		li   r0, 0x1000
+		str  r0, [r1, 4]
+		movi r0, 8
+		str  r0, [r1, 8]
+		li   r0, 0x40000      ; threshold 4.0 (Q16.16)
+		str  r0, [r1, 12]
+		movi r5, 0            ; pass
+	pass:
+		li   r2, 0x20000000
+		movi r3, 0
+	loop:
+		movi r4, 13
+		mul  r4, r3, r4
+		movi r6, 3
+		mul  r6, r5, r6
+		add  r4, r4, r6
+		strb r4, [r2]
+		addi r2, r2, 1
+		addi r3, r3, 1
+		cmpi r3, 512
+		blt  loop
+		li   r6, 0x40000010   ; flush
+		str  r3, [r6]
+		addi r5, r5, 1
+		cmpi r5, 2
+		blt  pass
+		halt
+	`, SRAMBase)
+	if err := bus.LoadProgram(SRAMBase, img); err != nil {
+		t.Fatal(err)
+	}
+	cpu := NewCPU(bus, SRAMBase)
+	if err := cpu.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	mcuStats := mcuDev.Flash().Stats()
+	mcuCtrl := mcuDev.Stats()
+
+	if mcuStats.Programs != directStats.Programs {
+		t.Errorf("programs: MCU %d vs direct %d", mcuStats.Programs, directStats.Programs)
+	}
+	if mcuStats.Erases != directStats.Erases {
+		t.Errorf("erases: MCU %d vs direct %d", mcuStats.Erases, directStats.Erases)
+	}
+	if mcuCtrl.PagesApprox != directCtrl.PagesApprox || mcuCtrl.PagesExact != directCtrl.PagesExact {
+		t.Errorf("controller decisions differ: MCU %+v vs direct %+v", mcuCtrl, directCtrl)
+	}
+	if mcuCtrl.ErrorSum != directCtrl.ErrorSum {
+		t.Errorf("introduced error differs: MCU %d vs direct %d", mcuCtrl.ErrorSum, directCtrl.ErrorSum)
+	}
+	// Stored contents must agree byte for byte.
+	a := make([]byte, 512)
+	b := make([]byte, 512)
+	if err := direct.Read(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mcuDev.Read(0, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stored byte %d differs: direct %#x, MCU %#x", i, a[i], b[i])
+		}
+	}
+}

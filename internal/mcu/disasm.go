@@ -1,0 +1,62 @@
+package mcu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders one instruction word as assembler syntax. Branch
+// targets are shown as absolute addresses computed from pc (the address of
+// the instruction itself).
+func Disassemble(word uint32, pc uint32) string {
+	in := Decode(word)
+	r := func(n int) string {
+		switch n {
+		case RegSP:
+			return "sp"
+		case RegLR:
+			return "lr"
+		default:
+			return fmt.Sprintf("r%d", n)
+		}
+	}
+	switch in.Op {
+	case OpHalt, OpNop:
+		return in.Op.String()
+	case OpMovi, OpMovt:
+		return fmt.Sprintf("%s %s, %d", in.Op, r(in.Rd), in.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov %s, %s", r(in.Rd), r(in.Rn))
+	case OpAdd, OpSub, OpMul, OpAnd, OpOrr, OpEor, OpLsl, OpLsr, OpAsr:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Rd), r(in.Rn), r(in.Rm))
+	case OpAddi:
+		return fmt.Sprintf("addi %s, %s, %d", r(in.Rd), r(in.Rn), in.Imm)
+	case OpCmp:
+		return fmt.Sprintf("cmp %s, %s", r(in.Rn), r(in.Rm))
+	case OpCmpi:
+		return fmt.Sprintf("cmpi %s, %d", r(in.Rn), in.Imm)
+	case OpB, OpBeq, OpBne, OpBlt, OpBge, OpBgt, OpBle, OpBl:
+		target := int64(pc) + 4 + int64(in.Imm)*4
+		return fmt.Sprintf("%s %#x", in.Op, uint32(target))
+	case OpBx:
+		return fmt.Sprintf("bx %s", r(in.Rn))
+	case OpLdr, OpLdrh, OpLdrb, OpStr, OpStrh, OpStrb:
+		if in.Imm == 0 {
+			return fmt.Sprintf("%s %s, [%s]", in.Op, r(in.Rd), r(in.Rn))
+		}
+		return fmt.Sprintf("%s %s, [%s, %d]", in.Op, r(in.Rd), r(in.Rn), in.Imm)
+	default:
+		return fmt.Sprintf(".word %#08x", word)
+	}
+}
+
+// DisassembleImage renders a whole little-endian image loaded at base, one
+// instruction per line with addresses.
+func DisassembleImage(image []byte, base uint32) string {
+	var b strings.Builder
+	for off := 0; off+4 <= len(image); off += 4 {
+		word := leLoad(image[off:], 4)
+		fmt.Fprintf(&b, "%08x:  %08x  %s\n", base+uint32(off), word, Disassemble(word, base+uint32(off)))
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package mcu
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDisassembleRoundTrip: assembling the disassembly of a program must
+// produce the identical image — the classic assembler/disassembler
+// consistency property.
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+	start:
+		movi r0, 42
+		movt r1, 4096
+		mov  r2, r0
+		add  r3, r2, r0
+		addi r3, r3, -7
+		cmp  r3, r0
+		beq  start
+		cmpi r3, 100
+		bgt  done
+		lsl  r4, r3, r0
+		ldr  r5, [sp, 8]
+		strb r5, [lr]
+		bl   start
+		bx   lr
+	done:
+		halt
+	`
+	img1, err := Assemble(src, SRAMBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing := DisassembleImage(img1, SRAMBase)
+	// Rebuild source from the listing (strip addresses and hex).
+	var rebuilt []string
+	for _, line := range strings.Split(strings.TrimSpace(listing), "\n") {
+		parts := strings.SplitN(line, "  ", 3)
+		if len(parts) != 3 {
+			t.Fatalf("bad listing line %q", line)
+		}
+		rebuilt = append(rebuilt, parts[2])
+	}
+	img2, err := Assemble(strings.Join(rebuilt, "\n"), SRAMBase)
+	if err != nil {
+		t.Fatalf("reassembling disassembly: %v\nlisting:\n%s", err, listing)
+	}
+	if len(img1) != len(img2) {
+		t.Fatalf("image sizes differ: %d vs %d", len(img1), len(img2))
+	}
+	for i := range img1 {
+		if img1[i] != img2[i] {
+			t.Fatalf("byte %d differs after round trip\noriginal:\n%s", i, listing)
+		}
+	}
+}
+
+func TestDisassembleFormats(t *testing.T) {
+	cases := []struct {
+		word uint32
+		want string
+	}{
+		{Encode(OpHalt, 0, 0, 0, 0), "halt"},
+		{Encode(OpMovi, 3, 0, 0, -5), "movi r3, -5"},
+		{Encode(OpAdd, 1, 2, 3, 0), "add r1, r2, r3"},
+		{Encode(OpLdr, 5, RegSP, 0, 8), "ldr r5, [sp, 8]"},
+		{Encode(OpStrb, 0, RegLR, 0, 0), "strb r0, [lr]"},
+		{Encode(OpBx, 0, RegLR, 0, 0), "bx lr"},
+		{Encode(OpCmpi, 0, 7, 0, 42), "cmpi r7, 42"},
+	}
+	for _, c := range cases {
+		if got := Disassemble(c.word, 0); got != c.want {
+			t.Errorf("Disassemble(%#x) = %q, want %q", c.word, got, c.want)
+		}
+	}
+}
+
+func TestDisassembleBranchTarget(t *testing.T) {
+	// A branch at 0x100 jumping back to 0x100 encodes imm = -1.
+	w := Encode(OpB, 0, 0, 0, -1)
+	if got := Disassemble(w, 0x100); got != "b 0x100" {
+		t.Errorf("branch disassembly = %q", got)
+	}
+}
+
+func TestDisassembleIllegal(t *testing.T) {
+	w := uint32(numOps) << opShift
+	if got := Disassemble(w, 0); !strings.HasPrefix(got, ".word") {
+		t.Errorf("illegal op should render as data, got %q", got)
+	}
+}

@@ -1,0 +1,48 @@
+package mcu
+
+import (
+	"testing"
+
+	"github.com/flipbit-sim/flipbit/internal/core"
+	"github.com/flipbit-sim/flipbit/internal/flash"
+)
+
+func testFlashSpec() flash.Spec {
+	s := flash.DefaultSpec()
+	s.NumPages = 8
+	return s
+}
+
+func testDevice(s flash.Spec) *core.Device { return core.MustNewDevice(s) }
+
+// FuzzAssemble: arbitrary source must assemble or error, never panic.
+func FuzzAssemble(f *testing.F) {
+	f.Add("movi r0, 1\nhalt")
+	f.Add("label: b label")
+	f.Add(".word 1,2,3\n.byte 4")
+	f.Add("ldr r0, [sp, -8]")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Assemble(src, SRAMBase) // must not panic
+	})
+}
+
+// FuzzDecodeExecute: any instruction word must decode and either execute
+// or produce an error — no panics from the interpreter.
+func FuzzDecodeExecute(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(Encode(OpAdd, 1, 2, 3, 0))
+	f.Add(^uint32(0))
+	f.Fuzz(func(t *testing.T, word uint32) {
+		spec := testFlashSpec()
+		bus := NewBus(1024, testDevice(spec))
+		img := make([]byte, 8)
+		leStore(img, word, 4)
+		leStore(img[4:], Encode(OpHalt, 0, 0, 0, 0), 4)
+		if err := bus.LoadProgram(SRAMBase, img); err != nil {
+			t.Fatal(err)
+		}
+		cpu := NewCPU(bus, SRAMBase)
+		_ = cpu.Run(10) // must not panic
+		_ = Disassemble(word, SRAMBase)
+	})
+}

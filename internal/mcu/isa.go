@@ -1,0 +1,138 @@
+// Package mcu is a small cycle-approximate microcontroller simulator — the
+// repository's substitute for the cycle-accurate ARM Cortex-M0+ simulator
+// the paper modifies (§IV). It provides what the evaluation needs from a
+// CPU model: a core that executes code (in place from NOR flash, XIP),
+// issues loads/stores through a bus that routes flash traffic to the
+// FlipBit device model, and accounts cycles and energy at the M0+'s
+// published operating point.
+//
+// The EM0 ISA is a Thumb-flavoured 32-bit-encoded RISC: 16 registers
+// (r13 = sp, r14 = lr by convention), compare-and-branch, and byte/half/
+// word loads and stores. A two-pass assembler (asm.go) turns source into
+// the little-endian image the bus executes.
+package mcu
+
+import "fmt"
+
+// Op is an EM0 opcode.
+type Op uint32
+
+// EM0 opcodes.
+const (
+	OpHalt Op = iota
+	OpNop
+	OpMovi // rd = signExtend(imm16)
+	OpMovt // rd = (rd & 0xFFFF) | imm16<<16
+	OpMov  // rd = rn
+	OpAdd  // rd = rn + rm
+	OpSub
+	OpMul
+	OpAnd
+	OpOrr
+	OpEor
+	OpLsl
+	OpLsr
+	OpAsr
+	OpAddi // rd = rn + imm14 (signed)
+	OpCmp  // compare rn, rm
+	OpCmpi // compare rn, imm14 (signed)
+	OpB    // pc-relative branch, imm26 words
+	OpBeq
+	OpBne
+	OpBlt // signed
+	OpBge
+	OpBgt
+	OpBle
+	OpBl // branch and link (lr = return address)
+	OpBx // pc = rn
+	OpLdr
+	OpLdrh
+	OpLdrb
+	OpStr
+	OpStrh
+	OpStrb
+	numOps
+)
+
+var opNames = map[Op]string{
+	OpHalt: "halt", OpNop: "nop", OpMovi: "movi", OpMovt: "movt", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpAnd: "and", OpOrr: "orr",
+	OpEor: "eor", OpLsl: "lsl", OpLsr: "lsr", OpAsr: "asr", OpAddi: "addi",
+	OpCmp: "cmp", OpCmpi: "cmpi", OpB: "b", OpBeq: "beq", OpBne: "bne",
+	OpBlt: "blt", OpBge: "bge", OpBgt: "bgt", OpBle: "ble", OpBl: "bl",
+	OpBx: "bx", OpLdr: "ldr", OpLdrh: "ldrh", OpLdrb: "ldrb",
+	OpStr: "str", OpStrh: "strh", OpStrb: "strb",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op%d", uint32(o))
+}
+
+// Instruction encoding, 32 bits:
+//
+//	[31:26] opcode
+//	[25:22] rd
+//	[21:18] rn
+//	[17:14] rm
+//	[13:0]  imm14 (signed where applicable)
+//
+// Exceptions: OpMovi/OpMovt use [15:0] as imm16 (rd in [25:22] still);
+// branches (OpB..OpBl) use [25:0] as a signed word offset.
+const (
+	opShift = 26
+	rdShift = 22
+	rnShift = 18
+	rmShift = 14
+
+	imm14Mask = (1 << 14) - 1
+	imm16Mask = (1 << 16) - 1
+	imm26Mask = (1 << 26) - 1
+)
+
+// Encode packs an instruction.
+func Encode(op Op, rd, rn, rm int, imm int32) uint32 {
+	w := uint32(op) << opShift
+	switch op {
+	case OpB, OpBeq, OpBne, OpBlt, OpBge, OpBgt, OpBle, OpBl:
+		return w | uint32(imm)&imm26Mask
+	case OpMovi, OpMovt:
+		return w | uint32(rd)<<rdShift | uint32(imm)&imm16Mask
+	default:
+		return w | uint32(rd)<<rdShift | uint32(rn)<<rnShift |
+			uint32(rm)<<rmShift | uint32(imm)&imm14Mask
+	}
+}
+
+// Decoded is an unpacked instruction.
+type Decoded struct {
+	Op         Op
+	Rd, Rn, Rm int
+	Imm        int32
+}
+
+// Decode unpacks an instruction word.
+func Decode(w uint32) Decoded {
+	op := Op(w >> opShift)
+	d := Decoded{Op: op}
+	switch op {
+	case OpB, OpBeq, OpBne, OpBlt, OpBge, OpBgt, OpBle, OpBl:
+		d.Imm = signExtend(w&imm26Mask, 26)
+	case OpMovi, OpMovt:
+		d.Rd = int(w >> rdShift & 0xF)
+		d.Imm = signExtend(w&imm16Mask, 16)
+	default:
+		d.Rd = int(w >> rdShift & 0xF)
+		d.Rn = int(w >> rnShift & 0xF)
+		d.Rm = int(w >> rmShift & 0xF)
+		d.Imm = signExtend(w&imm14Mask, 14)
+	}
+	return d
+}
+
+func signExtend(v uint32, bits int) int32 {
+	shift := 32 - bits
+	return int32(v<<uint(shift)) >> uint(shift)
+}

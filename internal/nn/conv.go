@@ -1,0 +1,353 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+// Conv2D is a stride-1, valid-padding 2-D convolution over channel-last
+// input (H × W × C) producing (H-K+1) × (W-K+1) × OC.
+type Conv2D struct {
+	H, W, C int // input geometry
+	K, OC   int // square kernel size, output channels
+
+	Wt []float32 // K × K × C × OC
+	B  []float32 // OC
+
+	in   []float32
+	gw   []float32
+	gb   []float32
+	outv []float32
+}
+
+// NewConv2D builds the layer with random weights.
+func NewConv2D(h, w, c, k, oc int, rng *xrand.RNG) *Conv2D {
+	l := &Conv2D{
+		H: h, W: w, C: c, K: k, OC: oc,
+		Wt: make([]float32, k*k*c*oc), B: make([]float32, oc),
+		gw: make([]float32, k*k*c*oc), gb: make([]float32, oc),
+		outv: make([]float32, (h-k+1)*(w-k+1)*oc),
+	}
+	initWeights(l.Wt, k*k*c, rng)
+	return l
+}
+
+// OutH returns the output height.
+func (l *Conv2D) OutH() int { return l.H - l.K + 1 }
+
+// OutW returns the output width.
+func (l *Conv2D) OutW() int { return l.W - l.K + 1 }
+
+// Name implements Layer.
+func (l *Conv2D) Name() string {
+	return fmt.Sprintf("conv2d(%dx%dx%d,k%d→%d)", l.H, l.W, l.C, l.K, l.OC)
+}
+
+// NumParams implements Layer.
+func (l *Conv2D) NumParams() int { return l.K*l.K*l.C*l.OC + l.OC }
+
+// OutLen implements Layer.
+func (l *Conv2D) OutLen() int { return l.OutH() * l.OutW() * l.OC }
+
+// wIdx addresses the weight for kernel position (ky,kx), input channel c,
+// output channel o.
+func (l *Conv2D) wIdx(ky, kx, c, o int) int {
+	return ((ky*l.K+kx)*l.C+c)*l.OC + o
+}
+
+// Forward implements Layer.
+func (l *Conv2D) Forward(in []float32) []float32 {
+	l.in = in
+	oh, ow := l.OutH(), l.OutW()
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			outBase := (y*ow + x) * l.OC
+			for o := 0; o < l.OC; o++ {
+				l.outv[outBase+o] = l.B[o]
+			}
+			for ky := 0; ky < l.K; ky++ {
+				for kx := 0; kx < l.K; kx++ {
+					inBase := ((y+ky)*l.W + (x + kx)) * l.C
+					for c := 0; c < l.C; c++ {
+						v := in[inBase+c]
+						if v == 0 {
+							continue
+						}
+						wBase := ((ky*l.K+kx)*l.C + c) * l.OC
+						for o := 0; o < l.OC; o++ {
+							l.outv[outBase+o] += v * l.Wt[wBase+o]
+						}
+					}
+				}
+			}
+		}
+	}
+	return l.outv
+}
+
+// Backward implements Layer.
+func (l *Conv2D) Backward(dout []float32) []float32 {
+	din := make([]float32, len(l.in))
+	oh, ow := l.OutH(), l.OutW()
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			outBase := (y*ow + x) * l.OC
+			for o := 0; o < l.OC; o++ {
+				g := dout[outBase+o]
+				if g == 0 {
+					continue
+				}
+				l.gb[o] += g
+				for ky := 0; ky < l.K; ky++ {
+					for kx := 0; kx < l.K; kx++ {
+						inBase := ((y+ky)*l.W + (x + kx)) * l.C
+						for c := 0; c < l.C; c++ {
+							idx := l.wIdx(ky, kx, c, o)
+							l.gw[idx] += g * l.in[inBase+c]
+							din[inBase+c] += g * l.Wt[idx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return din
+}
+
+// Update implements Layer.
+func (l *Conv2D) Update(lr float32) {
+	for i := range l.Wt {
+		l.Wt[i] -= lr * l.gw[i]
+		l.gw[i] = 0
+	}
+	for i := range l.B {
+		l.B[i] -= lr * l.gb[i]
+		l.gb[i] = 0
+	}
+}
+
+// Conv1D is a stride-1, valid-padding 1-D convolution over channel-last
+// input (T × C) producing (T-K+1) × OC. Used by the HAR model.
+type Conv1D struct {
+	T, C  int
+	K, OC int
+
+	Wt []float32 // K × C × OC
+	B  []float32
+
+	in   []float32
+	gw   []float32
+	gb   []float32
+	outv []float32
+}
+
+// NewConv1D builds the layer with random weights.
+func NewConv1D(t, c, k, oc int, rng *xrand.RNG) *Conv1D {
+	l := &Conv1D{
+		T: t, C: c, K: k, OC: oc,
+		Wt: make([]float32, k*c*oc), B: make([]float32, oc),
+		gw: make([]float32, k*c*oc), gb: make([]float32, oc),
+		outv: make([]float32, (t-k+1)*oc),
+	}
+	initWeights(l.Wt, k*c, rng)
+	return l
+}
+
+// OutT returns the output length in timesteps.
+func (l *Conv1D) OutT() int { return l.T - l.K + 1 }
+
+// Name implements Layer.
+func (l *Conv1D) Name() string { return fmt.Sprintf("conv1d(%dx%d,k%d→%d)", l.T, l.C, l.K, l.OC) }
+
+// NumParams implements Layer.
+func (l *Conv1D) NumParams() int { return l.K*l.C*l.OC + l.OC }
+
+// OutLen implements Layer.
+func (l *Conv1D) OutLen() int { return l.OutT() * l.OC }
+
+// Forward implements Layer.
+func (l *Conv1D) Forward(in []float32) []float32 {
+	l.in = in
+	ot := l.OutT()
+	for t := 0; t < ot; t++ {
+		outBase := t * l.OC
+		for o := 0; o < l.OC; o++ {
+			l.outv[outBase+o] = l.B[o]
+		}
+		for k := 0; k < l.K; k++ {
+			inBase := (t + k) * l.C
+			for c := 0; c < l.C; c++ {
+				v := in[inBase+c]
+				if v == 0 {
+					continue
+				}
+				wBase := (k*l.C + c) * l.OC
+				for o := 0; o < l.OC; o++ {
+					l.outv[outBase+o] += v * l.Wt[wBase+o]
+				}
+			}
+		}
+	}
+	return l.outv
+}
+
+// Backward implements Layer.
+func (l *Conv1D) Backward(dout []float32) []float32 {
+	din := make([]float32, len(l.in))
+	ot := l.OutT()
+	for t := 0; t < ot; t++ {
+		outBase := t * l.OC
+		for o := 0; o < l.OC; o++ {
+			g := dout[outBase+o]
+			if g == 0 {
+				continue
+			}
+			l.gb[o] += g
+			for k := 0; k < l.K; k++ {
+				inBase := (t + k) * l.C
+				for c := 0; c < l.C; c++ {
+					idx := (k*l.C+c)*l.OC + o
+					l.gw[idx] += g * l.in[inBase+c]
+					din[inBase+c] += g * l.Wt[idx]
+				}
+			}
+		}
+	}
+	return din
+}
+
+// Update implements Layer.
+func (l *Conv1D) Update(lr float32) {
+	for i := range l.Wt {
+		l.Wt[i] -= lr * l.gw[i]
+		l.gw[i] = 0
+	}
+	for i := range l.B {
+		l.B[i] -= lr * l.gb[i]
+		l.gb[i] = 0
+	}
+}
+
+// MaxPool2D is a 2×2, stride-2 max pool over H × W × C input. Odd trailing
+// rows/columns are dropped (floor semantics), as in the paper's frameworks.
+type MaxPool2D struct {
+	H, W, C int
+	argmax  []int
+	outv    []float32
+}
+
+// NewMaxPool2D builds the layer.
+func NewMaxPool2D(h, w, c int) *MaxPool2D {
+	oh, ow := h/2, w/2
+	return &MaxPool2D{H: h, W: w, C: c,
+		argmax: make([]int, oh*ow*c), outv: make([]float32, oh*ow*c)}
+}
+
+// OutH returns the output height.
+func (l *MaxPool2D) OutH() int { return l.H / 2 }
+
+// OutW returns the output width.
+func (l *MaxPool2D) OutW() int { return l.W / 2 }
+
+// Name implements Layer.
+func (l *MaxPool2D) Name() string { return "maxpool2d" }
+
+// NumParams implements Layer.
+func (l *MaxPool2D) NumParams() int { return 0 }
+
+// OutLen implements Layer.
+func (l *MaxPool2D) OutLen() int { return l.OutH() * l.OutW() * l.C }
+
+// Forward implements Layer.
+func (l *MaxPool2D) Forward(in []float32) []float32 {
+	oh, ow := l.OutH(), l.OutW()
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			for c := 0; c < l.C; c++ {
+				best := float32(0)
+				bestIdx := -1
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						idx := ((2*y+dy)*l.W+(2*x+dx))*l.C + c
+						if bestIdx < 0 || in[idx] > best {
+							best, bestIdx = in[idx], idx
+						}
+					}
+				}
+				o := (y*ow+x)*l.C + c
+				l.outv[o] = best
+				l.argmax[o] = bestIdx
+			}
+		}
+	}
+	return l.outv
+}
+
+// Backward implements Layer.
+func (l *MaxPool2D) Backward(dout []float32) []float32 {
+	din := make([]float32, l.H*l.W*l.C)
+	for o, idx := range l.argmax {
+		din[idx] += dout[o]
+	}
+	return din
+}
+
+// Update implements Layer.
+func (l *MaxPool2D) Update(float32) {}
+
+// MaxPool1D is a size-2, stride-2 max pool over T × C input.
+type MaxPool1D struct {
+	T, C   int
+	argmax []int
+	outv   []float32
+}
+
+// NewMaxPool1D builds the layer.
+func NewMaxPool1D(t, c int) *MaxPool1D {
+	return &MaxPool1D{T: t, C: c, argmax: make([]int, t/2*c), outv: make([]float32, t/2*c)}
+}
+
+// OutT returns the output length in timesteps.
+func (l *MaxPool1D) OutT() int { return l.T / 2 }
+
+// Name implements Layer.
+func (l *MaxPool1D) Name() string { return "maxpool1d" }
+
+// NumParams implements Layer.
+func (l *MaxPool1D) NumParams() int { return 0 }
+
+// OutLen implements Layer.
+func (l *MaxPool1D) OutLen() int { return l.OutT() * l.C }
+
+// Forward implements Layer.
+func (l *MaxPool1D) Forward(in []float32) []float32 {
+	ot := l.OutT()
+	for t := 0; t < ot; t++ {
+		for c := 0; c < l.C; c++ {
+			a := in[(2*t)*l.C+c]
+			b := in[(2*t+1)*l.C+c]
+			o := t*l.C + c
+			if a >= b {
+				l.outv[o] = a
+				l.argmax[o] = (2*t)*l.C + c
+			} else {
+				l.outv[o] = b
+				l.argmax[o] = (2*t+1)*l.C + c
+			}
+		}
+	}
+	return l.outv
+}
+
+// Backward implements Layer.
+func (l *MaxPool1D) Backward(dout []float32) []float32 {
+	din := make([]float32, l.T*l.C)
+	for o, idx := range l.argmax {
+		din[idx] += dout[o]
+	}
+	return din
+}
+
+// Update implements Layer.
+func (l *MaxPool1D) Update(float32) {}

@@ -1,0 +1,210 @@
+// Package nn is a compact neural-network engine for the paper's "compute
+// and send" workloads (§IV): float32 training with SGD, post-training uint8
+// quantization, and flash-backed inference in which every layer's activation
+// is written to (FlipBit) flash and read back before the next layer — the
+// exact data path the paper evaluates on embedded DNNs.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+// Layer is one differentiable stage of a network. Forward caches whatever
+// Backward needs; Backward returns the gradient with respect to the input
+// and accumulates parameter gradients, which Update applies and clears.
+type Layer interface {
+	Name() string
+	Forward(in []float32) []float32
+	Backward(dout []float32) []float32
+	Update(lr float32)
+	NumParams() int
+	OutLen() int
+}
+
+// initWeights fills w with scaled uniform values (He-style fan-in scaling).
+func initWeights(w []float32, fanIn int, rng *xrand.RNG) {
+	scale := float32(1.0)
+	if fanIn > 0 {
+		scale = 2.4 / float32(sqrtInt(fanIn))
+	}
+	for i := range w {
+		w[i] = (float32(rng.Float64())*2 - 1) * scale
+	}
+}
+
+func sqrtInt(n int) float32 {
+	x := float32(n)
+	z := x
+	for i := 0; i < 20; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// Dense is a fully connected layer: out = W·in + b.
+type Dense struct {
+	In, Out int
+	W       []float32 // Out × In, row major
+	B       []float32
+
+	in   []float32
+	gw   []float32
+	gb   []float32
+	outv []float32
+}
+
+// NewDense builds a Dense layer with randomly initialized weights.
+func NewDense(in, out int, rng *xrand.RNG) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W: make([]float32, in*out), B: make([]float32, out),
+		gw: make([]float32, in*out), gb: make([]float32, out),
+		outv: make([]float32, out),
+	}
+	initWeights(d.W, in, rng)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d→%d)", d.In, d.Out) }
+
+// NumParams implements Layer.
+func (d *Dense) NumParams() int { return d.In*d.Out + d.Out }
+
+// OutLen implements Layer.
+func (d *Dense) OutLen() int { return d.Out }
+
+// Forward implements Layer.
+func (d *Dense) Forward(in []float32) []float32 {
+	d.in = in
+	for o := 0; o < d.Out; o++ {
+		sum := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, v := range in {
+			sum += row[i] * v
+		}
+		d.outv[o] = sum
+	}
+	return d.outv
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dout []float32) []float32 {
+	din := make([]float32, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := dout[o]
+		d.gb[o] += g
+		row := d.W[o*d.In : (o+1)*d.In]
+		grow := d.gw[o*d.In : (o+1)*d.In]
+		for i := range row {
+			grow[i] += g * d.in[i]
+			din[i] += g * row[i]
+		}
+	}
+	return din
+}
+
+// Update implements Layer.
+func (d *Dense) Update(lr float32) {
+	for i := range d.W {
+		d.W[i] -= lr * d.gw[i]
+		d.gw[i] = 0
+	}
+	for i := range d.B {
+		d.B[i] -= lr * d.gb[i]
+		d.gb[i] = 0
+	}
+}
+
+// ReLU is an elementwise rectifier.
+type ReLU struct {
+	n    int
+	mask []bool
+	outv []float32
+}
+
+// NewReLU builds a ReLU over n elements.
+func NewReLU(n int) *ReLU {
+	return &ReLU{n: n, mask: make([]bool, n), outv: make([]float32, n)}
+}
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// NumParams implements Layer.
+func (r *ReLU) NumParams() int { return 0 }
+
+// OutLen implements Layer.
+func (r *ReLU) OutLen() int { return r.n }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(in []float32) []float32 {
+	for i, v := range in {
+		if v > 0 {
+			r.outv[i] = v
+			r.mask[i] = true
+		} else {
+			r.outv[i] = 0
+			r.mask[i] = false
+		}
+	}
+	return r.outv
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dout []float32) []float32 {
+	din := make([]float32, r.n)
+	for i := range dout {
+		if r.mask[i] {
+			din[i] = dout[i]
+		}
+	}
+	return din
+}
+
+// Update implements Layer.
+func (r *ReLU) Update(float32) {}
+
+// Sigmoid is an elementwise logistic activation (used by the ECG head).
+type Sigmoid struct {
+	n    int
+	outv []float32
+}
+
+// NewSigmoid builds a Sigmoid over n elements.
+func NewSigmoid(n int) *Sigmoid { return &Sigmoid{n: n, outv: make([]float32, n)} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "sigmoid" }
+
+// NumParams implements Layer.
+func (s *Sigmoid) NumParams() int { return 0 }
+
+// OutLen implements Layer.
+func (s *Sigmoid) OutLen() int { return s.n }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(in []float32) []float32 {
+	for i, v := range in {
+		s.outv[i] = 1 / (1 + exp32(-v))
+	}
+	return s.outv
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(dout []float32) []float32 {
+	din := make([]float32, s.n)
+	for i := range dout {
+		y := s.outv[i]
+		din[i] = dout[i] * y * (1 - y)
+	}
+	return din
+}
+
+// Update implements Layer.
+func (s *Sigmoid) Update(float32) {}
+
+func exp32(x float32) float32 { return float32(math.Exp(float64(x))) }

@@ -1,0 +1,94 @@
+package nn
+
+// Quantizer maps float activations to the uint8 domain stored in flash.
+// Affine per-tensor quantization: q = round((x - lo) / scale), clamped to
+// [0, 255]; dequantization is exact for in-range values up to scale/2.
+type Quantizer struct {
+	Lo    float32 // real value mapped to 0
+	Scale float32 // real-value step per code
+}
+
+// NewQuantizer builds a quantizer covering [lo, hi]. Degenerate ranges
+// quantize everything to 0 and dequantize to lo.
+func NewQuantizer(lo, hi float32) Quantizer {
+	if hi <= lo {
+		return Quantizer{Lo: lo, Scale: 0}
+	}
+	return Quantizer{Lo: lo, Scale: (hi - lo) / 255}
+}
+
+// Quantize maps a real activation to its uint8 code.
+func (q Quantizer) Quantize(x float32) uint8 {
+	if q.Scale == 0 {
+		return 0
+	}
+	v := (x - q.Lo) / q.Scale
+	switch {
+	case v <= 0:
+		return 0
+	case v >= 255:
+		return 255
+	default:
+		return uint8(v + 0.5)
+	}
+}
+
+// Dequantize maps a uint8 code back to the real domain.
+func (q Quantizer) Dequantize(b uint8) float32 {
+	return q.Lo + float32(b)*q.Scale
+}
+
+// QuantizeSlice fills dst with the codes for src.
+func (q Quantizer) QuantizeSlice(dst []byte, src []float32) {
+	for i, v := range src {
+		dst[i] = q.Quantize(v)
+	}
+}
+
+// DequantizeSlice fills dst with the real values for src.
+func (q Quantizer) DequantizeSlice(dst []float32, src []byte) {
+	for i, b := range src {
+		dst[i] = q.Dequantize(b)
+	}
+}
+
+// CalibrateLayers runs the network over calibration inputs and returns a
+// per-layer quantizer spanning each layer's observed activation range —
+// standard post-training quantization.
+func CalibrateLayers(net *Network, calib [][]float32) []Quantizer {
+	lo := make([]float32, len(net.Layers))
+	hi := make([]float32, len(net.Layers))
+	first := true
+	for _, x := range calib {
+		act := x
+		for li, l := range net.Layers {
+			act = l.Forward(act)
+			for _, v := range act {
+				if first || v < lo[li] {
+					lo[li] = v
+				}
+				if first || v > hi[li] {
+					hi[li] = v
+				}
+			}
+			if first {
+				// Initialise from the first value per layer.
+				lo[li], hi[li] = act[0], act[0]
+				for _, v := range act {
+					if v < lo[li] {
+						lo[li] = v
+					}
+					if v > hi[li] {
+						hi[li] = v
+					}
+				}
+			}
+		}
+		first = false
+	}
+	qs := make([]Quantizer, len(net.Layers))
+	for i := range qs {
+		qs[i] = NewQuantizer(lo[i], hi[i])
+	}
+	return qs
+}

@@ -1,0 +1,242 @@
+// Package video provides the "sense and send" workload of the paper (§IV):
+// an IoT camera writing frames to flash before transmission. Because the
+// Xiph.org test videos cannot ship with the repository, a procedural
+// generator synthesizes a benchmark suite spanning the same axis that
+// matters to FlipBit — temporal similarity between consecutive frames at
+// fixed flash addresses — from fully static scenes through talking-head
+// style local motion to high-motion scenes over shimmering water.
+package video
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+// Frame is an 8-bit grayscale image, row major.
+type Frame []byte
+
+// Box is an axis-aligned bounding box (inclusive min, exclusive max).
+type Box struct {
+	X0, Y0, X1, Y1 int
+}
+
+// Area returns the box area in pixels.
+func (b Box) Area() int {
+	w, h := b.X1-b.X0, b.Y1-b.Y0
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// Intersect returns the intersection area of two boxes.
+func (b Box) Intersect(o Box) int {
+	x0, y0 := maxInt(b.X0, o.X0), maxInt(b.Y0, o.Y0)
+	x1, y1 := minInt(b.X1, o.X1), minInt(b.Y1, o.Y1)
+	return Box{x0, y0, x1, y1}.Area()
+}
+
+// IoU returns the intersection-over-union of two boxes.
+func (b Box) IoU(o Box) float64 {
+	inter := b.Intersect(o)
+	union := b.Area() + o.Area() - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// object is a bright moving disc over the background.
+type object struct {
+	cx, cy     float64 // initial centre
+	vx, vy     float64 // velocity, pixels/frame
+	radius     float64
+	brightness float64
+}
+
+// Video is a procedurally generated clip. Frames are a pure function of the
+// frame index, so generation is reproducible and random access.
+type Video struct {
+	ID     int
+	Name   string
+	Width  int
+	Height int
+	Frames int
+
+	seed       uint64
+	noiseSigma float64  // per-pixel, per-frame sensor noise
+	shimmer    float64  // amplitude of water-like background motion
+	waterline  float64  // fraction of height below which shimmer applies (0 = everywhere)
+	panSpeed   float64  // global pan, pixels/frame
+	objects    []object // moving foreground objects
+
+	// Auto-exposure flicker: every flickerEvery frames the camera's gain
+	// steps, shifting the whole frame by flickerAmp. This models the AGC
+	// adjustments real sensors make and gives even static scenes
+	// occasional frames that no approximation threshold can absorb.
+	flickerEvery int
+	flickerAmp   float64
+}
+
+// Size returns the frame size in bytes.
+func (v *Video) Size() int { return v.Width * v.Height }
+
+// Frame renders frame t. Pixels are generated from a static background,
+// optional global pan, water shimmer, moving objects, and per-frame sensor
+// noise; everything is seeded so two calls agree exactly.
+func (v *Video) Frame(t int) Frame {
+	f := make(Frame, v.Size())
+	// Per-frame noise stream; the background pattern stream is fixed.
+	noise := xrand.New(v.seed*1000003 + uint64(t)*7919)
+	pan := v.panSpeed * float64(t)
+	gain := 0.0
+	if v.flickerEvery > 0 {
+		// Gain alternates between two steps, so each flicker boundary
+		// shifts every pixel by flickerAmp at once.
+		if (t/v.flickerEvery)%2 == 1 {
+			gain = v.flickerAmp
+		}
+	}
+	for y := 0; y < v.Height; y++ {
+		for x := 0; x < v.Width; x++ {
+			val := v.background(float64(x)+pan, float64(y), t) + gain
+			for _, o := range v.objects {
+				val = o.render(val, x, y, t, v.Width, v.Height)
+			}
+			if v.noiseSigma > 0 {
+				val += noise.NormFloat64() * v.noiseSigma
+			}
+			f[y*v.Width+x] = clampByte(val)
+		}
+	}
+	return f
+}
+
+// background returns the scene luminance at (fractional) scene coordinates.
+func (v *Video) background(x, y float64, t int) float64 {
+	// Smooth deterministic texture from a few sinusoids keyed by seed.
+	s := float64(v.seed%97) * 0.13
+	val := 110 +
+		35*math.Sin(0.11*x+s) +
+		25*math.Cos(0.07*y+0.5*s) +
+		15*math.Sin(0.05*(x+y)+2*s)
+	if v.shimmer > 0 && y >= v.waterline*float64(v.Height) {
+		// Water-like shimmer: spatial waves drifting every frame,
+		// below the waterline only (the sky stays still).
+		ph := float64(t) * 0.9
+		val += v.shimmer * math.Sin(0.45*x+0.31*y+ph)
+		val += 0.6 * v.shimmer * math.Sin(0.23*x-0.51*y-1.7*ph)
+	}
+	return val
+}
+
+// render draws the object's disc over the pixel value if covered.
+func (o object) render(val float64, x, y, t, w, h int) float64 {
+	cx, cy := o.pos(t, w, h)
+	dx, dy := float64(x)-cx, float64(y)-cy
+	d2 := dx*dx + dy*dy
+	r2 := o.radius * o.radius
+	if d2 < r2 {
+		// Soft edge to avoid single-pixel aliasing artifacts.
+		edge := 1 - d2/r2
+		if edge > 0.25 {
+			edge = 1
+		} else {
+			edge *= 4
+		}
+		return val*(1-edge) + o.brightness*edge
+	}
+	return val
+}
+
+// pos returns the object centre at frame t, bouncing off frame edges.
+func (o object) pos(t int, w, h int) (float64, float64) {
+	return bounce(o.cx+o.vx*float64(t), float64(w)),
+		bounce(o.cy+o.vy*float64(t), float64(h))
+}
+
+// bounce reflects x into [0, limit) with mirror wrapping.
+func bounce(x, limit float64) float64 {
+	if limit <= 0 {
+		return 0
+	}
+	period := 2 * limit
+	x = math.Mod(x, period)
+	if x < 0 {
+		x += period
+	}
+	if x >= limit {
+		x = period - x
+	}
+	return x
+}
+
+// BackgroundFrame renders frame t without objects or sensor noise — the
+// background model a deployed detector maintains (pan, shimmer and gain
+// steps included, so only objects and noise differ from Frame(t)).
+func (v *Video) BackgroundFrame(t int) Frame {
+	f := make(Frame, v.Size())
+	pan := v.panSpeed * float64(t)
+	gain := 0.0
+	if v.flickerEvery > 0 && (t/v.flickerEvery)%2 == 1 {
+		gain = v.flickerAmp
+	}
+	for y := 0; y < v.Height; y++ {
+		for x := 0; x < v.Width; x++ {
+			f[y*v.Width+x] = clampByte(v.background(float64(x)+pan, float64(y), t) + gain)
+		}
+	}
+	return f
+}
+
+// ObjectBoxes returns the ground-truth bounding boxes of all objects at
+// frame t, clipped to the frame.
+func (v *Video) ObjectBoxes(t int) []Box {
+	boxes := make([]Box, 0, len(v.objects))
+	for _, o := range v.objects {
+		cx, cy := o.pos(t, v.Width, v.Height)
+		b := Box{
+			X0: int(cx - o.radius), Y0: int(cy - o.radius),
+			X1: int(cx + o.radius + 1), Y1: int(cy + o.radius + 1),
+		}
+		b.X0 = maxInt(b.X0, 0)
+		b.Y0 = maxInt(b.Y0, 0)
+		b.X1 = minInt(b.X1, v.Width)
+		b.Y1 = minInt(b.Y1, v.Height)
+		if b.Area() > 0 {
+			boxes = append(boxes, b)
+		}
+	}
+	return boxes
+}
+
+func clampByte(v float64) byte {
+	switch {
+	case v <= 0:
+		return 0
+	case v >= 255:
+		return 255
+	default:
+		return byte(v + 0.5)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (v *Video) String() string {
+	return fmt.Sprintf("video %d (%s, %dx%d, %d frames)", v.ID, v.Name, v.Width, v.Height, v.Frames)
+}

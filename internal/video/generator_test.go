@@ -1,0 +1,90 @@
+package video
+
+import "testing"
+
+// TestFlickerSteps: the auto-exposure gain step must shift whole frames at
+// flicker boundaries and leave adjacent frames within a flicker block
+// similar.
+func TestFlickerSteps(t *testing.T) {
+	v := &Video{
+		ID: 2001, Name: "flicker", Width: 16, Height: 16, Frames: 40,
+		seed: 5, noiseSigma: 0, flickerEvery: 10, flickerAmp: 8,
+	}
+	within := MSE(v.Frame(3), v.Frame(4))  // same gain block, no noise
+	across := MSE(v.Frame(9), v.Frame(10)) // gain steps here
+	if within != 0 {
+		t.Errorf("noise-free frames within a gain block differ: MSE %v", within)
+	}
+	if across < 30 { // amp 8 → MSE ≈ 64 on most pixels
+		t.Errorf("gain boundary MSE %v too small; flicker inactive", across)
+	}
+}
+
+// TestWaterline: shimmer must move only pixels below the waterline.
+func TestWaterline(t *testing.T) {
+	v := &Video{
+		ID: 2002, Name: "water", Width: 16, Height: 16, Frames: 10,
+		seed: 7, noiseSigma: 0, shimmer: 10, waterline: 0.5,
+	}
+	a, b := v.Frame(0), v.Frame(1)
+	var skyDiff, seaDiff int
+	for y := 0; y < v.Height; y++ {
+		for x := 0; x < v.Width; x++ {
+			d := int(a[y*v.Width+x]) - int(b[y*v.Width+x])
+			if d < 0 {
+				d = -d
+			}
+			if y < v.Height/2 {
+				skyDiff += d
+			} else {
+				seaDiff += d
+			}
+		}
+	}
+	if skyDiff != 0 {
+		t.Errorf("sky above the waterline moved: total diff %d", skyDiff)
+	}
+	if seaDiff == 0 {
+		t.Error("water below the waterline did not shimmer")
+	}
+}
+
+// TestBackgroundFrameMatchesObjectFreeScene: Frame minus objects and noise
+// must equal BackgroundFrame exactly.
+func TestBackgroundFrameMatchesObjectFreeScene(t *testing.T) {
+	v := &Video{
+		ID: 2003, Name: "bg", Width: 16, Height: 16, Frames: 5,
+		seed: 9, noiseSigma: 0, flickerEvery: 3, flickerAmp: 6, panSpeed: 0.5,
+	}
+	for ti := 0; ti < 5; ti++ {
+		f := v.Frame(ti)
+		bg := v.BackgroundFrame(ti)
+		for i := range f {
+			if f[i] != bg[i] {
+				t.Fatalf("t=%d pixel %d: frame %d != background %d", ti, i, f[i], bg[i])
+			}
+		}
+	}
+}
+
+func TestBounceReflects(t *testing.T) {
+	cases := []struct {
+		x, limit, want float64
+	}{
+		{5, 10, 5},
+		{12, 10, 8}, // reflect off the far edge
+		{-3, 10, 3}, // reflect off zero
+		{25, 10, 5}, // full period wrap
+	}
+	for _, c := range cases {
+		if got := bounce(c.x, c.limit); got != c.want {
+			t.Errorf("bounce(%v, %v) = %v, want %v", c.x, c.limit, got, c.want)
+		}
+	}
+}
+
+func TestClampByte(t *testing.T) {
+	if clampByte(-5) != 0 || clampByte(300) != 255 || clampByte(99.6) != 100 {
+		t.Error("clampByte wrong")
+	}
+}

@@ -1,0 +1,163 @@
+package video
+
+import (
+	"fmt"
+
+	"github.com/flipbit-sim/flipbit/internal/approx"
+	"github.com/flipbit-sim/flipbit/internal/bits"
+	"github.com/flipbit-sim/flipbit/internal/core"
+	"github.com/flipbit-sim/flipbit/internal/flash"
+)
+
+// CaptureConfig configures one capture run of a video through a (FlipBit)
+// flash device.
+type CaptureConfig struct {
+	// EncoderN selects the n-bit approximation window (1..8). 0 disables
+	// approximation entirely: the exact baseline.
+	EncoderN int
+	// Threshold is the MAE threshold handed to setApproxThreshold().
+	// Ignored when EncoderN == 0.
+	Threshold float64
+	// FrameStride writes only every k-th frame — the "reduce the frame
+	// rate" alternative of Fig. 11. Default (0 or 1) writes every frame.
+	FrameStride int
+	// FrameKeepRatio, when in (0, 1), keeps that fraction of frames,
+	// evenly spaced — a fractional frame-rate reduction used to match an
+	// arbitrary energy budget (§V: energy is proportional to frame
+	// rate). Ignored when 0 or >= 1; combines multiplicatively with
+	// FrameStride only in the sense that stride is applied first.
+	FrameKeepRatio float64
+	// Spec optionally overrides the flash part; nil uses DefaultSpec.
+	Spec *flash.Spec
+	// OnFrame, when set, receives every source frame and the frame the
+	// flash holds after the write (used by the object-detection study).
+	OnFrame func(t int, exact, stored Frame)
+
+	// Ablation knobs (defaults reproduce the paper's design).
+	Metric     core.ErrorMetric    // MAE (default) or MSE page gating
+	Fallback   core.FallbackPolicy // per-page (default) or per-value
+	ProgramAll bool                // charge programs even for unchanged bytes
+}
+
+// CaptureResult summarizes a run: output quality and flash cost.
+type CaptureResult struct {
+	Video         *Video
+	FramesWritten int
+	// MeanPSNR is averaged over every source frame against what the
+	// flash holds at that instant (skipped frames compare against the
+	// last stored one, so frame-rate reduction pays its quality cost).
+	MeanPSNR float64
+	// GlobalPSNR aggregates MSE over all frames before converting to
+	// dB — the standard whole-sequence PSNR. Unlike MeanPSNR it is not
+	// distorted by the per-frame cap on lossless frames, so it is the
+	// right metric when some strategy stores frames exactly (Fig. 11).
+	GlobalPSNR float64
+	Flash      flash.Stats
+	Ctrl       core.Stats
+}
+
+// Capture streams video v into flash frame by frame, always at the same
+// flash location (the paper applies approximation to the flash region that
+// is repeatedly written to), reading each stored frame back to score PSNR.
+func Capture(v *Video, cfg CaptureConfig) (CaptureResult, error) {
+	spec := flash.DefaultSpec()
+	if cfg.Spec != nil {
+		spec = *cfg.Spec
+	}
+	frameBytes := v.Size()
+	if frameBytes > spec.Size() {
+		return CaptureResult{}, fmt.Errorf("video: frame (%d B) exceeds flash (%d B)", frameBytes, spec.Size())
+	}
+	dev, err := core.NewDevice(spec,
+		core.WithErrorMetric(cfg.Metric), core.WithFallbackPolicy(cfg.Fallback))
+	if err != nil {
+		return CaptureResult{}, err
+	}
+	dev.Flash().SetProgramAll(cfg.ProgramAll)
+	if cfg.EncoderN > 0 {
+		enc, err := approx.NewNBit(cfg.EncoderN)
+		if err != nil {
+			return CaptureResult{}, err
+		}
+		dev.SetEncoder(enc)
+		region := pagesFor(frameBytes, spec.PageSize) * spec.PageSize
+		if err := dev.SetApproxRegion(0, region); err != nil {
+			return CaptureResult{}, err
+		}
+		if err := dev.SetWidth(bits.W8); err != nil {
+			return CaptureResult{}, err
+		}
+		dev.SetThreshold(cfg.Threshold)
+	}
+
+	stride := cfg.FrameStride
+	if stride < 1 {
+		stride = 1
+	}
+	keep := func(t int) bool {
+		if t%stride != 0 {
+			return false
+		}
+		r := cfg.FrameKeepRatio
+		if r <= 0 || r >= 1 {
+			return true
+		}
+		// Keep frame t iff the accumulated keep phase crosses an
+		// integer boundary — evenly spaced retention at ratio r.
+		return int(float64(t+1)*r) > int(float64(t)*r)
+	}
+	stored := make(Frame, frameBytes)
+	var psnrSum, mseSum float64
+	written := 0
+	for t := 0; t < v.Frames; t++ {
+		exact := v.Frame(t)
+		if keep(t) || t == 0 {
+			if err := dev.Write(0, exact); err != nil {
+				return CaptureResult{}, fmt.Errorf("video: frame %d: %w", t, err)
+			}
+			written++
+		}
+		if err := dev.Read(0, stored); err != nil {
+			return CaptureResult{}, err
+		}
+		psnrSum += PSNR(exact, stored)
+		mseSum += MSE(exact, stored)
+		if cfg.OnFrame != nil {
+			cfg.OnFrame(t, exact, stored)
+		}
+	}
+	global := psnrFromMSE(mseSum / float64(v.Frames))
+	return CaptureResult{
+		Video:         v,
+		FramesWritten: written,
+		MeanPSNR:      psnrSum / float64(v.Frames),
+		GlobalPSNR:    global,
+		Flash:         dev.Flash().Stats(),
+		Ctrl:          dev.Stats(),
+	}, nil
+}
+
+// EnergyReduction returns 1 - approx/baseline for two runs of the same
+// video, i.e. the fraction of flash energy FlipBit saved.
+func EnergyReduction(baseline, flipbit CaptureResult) float64 {
+	if baseline.Flash.Energy == 0 {
+		return 0
+	}
+	return 1 - float64(flipbit.Flash.Energy)/float64(baseline.Flash.Energy)
+}
+
+// LifetimeIncrease returns erases_baseline/erases_flipbit - 1, the paper's
+// proxy for flash lifetime extension (§V-C).
+func LifetimeIncrease(baseline, flipbit CaptureResult) float64 {
+	if flipbit.Flash.Erases == 0 {
+		if baseline.Flash.Erases == 0 {
+			return 0
+		}
+		return float64(baseline.Flash.Erases) // effectively unbounded; report the ratio
+	}
+	return float64(baseline.Flash.Erases)/float64(flipbit.Flash.Erases) - 1
+}
+
+func pagesFor(bytes, pageSize int) int {
+	return (bytes + pageSize - 1) / pageSize
+}

@@ -1,0 +1,70 @@
+package video
+
+// Suite returns the benchmark videos. IDs are ordered by motion intensity,
+// mirroring the paper's observation that low-ID videos (mostly static)
+// approximate well while high-ID, high-motion clips (e.g. a boat on water)
+// force frequent exact writes.
+//
+// Four families, four clips each:
+//
+//	1–4   static-*  : fixed scene, sensor noise and occasional gain steps
+//	5–8   talker-*  : one slow object over a static background (talking head)
+//	9–12  traffic-* : several objects crossing the frame (traffic camera)
+//	13–16 boat-*    : a moving object over shimmering water plus a slow pan
+//
+// All clips include mild auto-exposure flicker so even perfectly static
+// scenes occasionally demand an exact frame, as real sensors do.
+func Suite() []*Video {
+	const (
+		w      = 64
+		h      = 64
+		frames = 72
+	)
+	mk := func(id int, name string, noise, shimmer, pan float64, objs []object) *Video {
+		return &Video{
+			ID: id, Name: name, Width: w, Height: h, Frames: frames,
+			seed: uint64(id)*0x9E37 + 17, noiseSigma: noise, shimmer: shimmer,
+			waterline: 0.45, panSpeed: pan, objects: objs,
+			flickerEvery: 18 + id%3*3, flickerAmp: 7,
+		}
+	}
+	disc := func(cx, cy, vx, vy, r, bright float64) object {
+		return object{cx: cx, cy: cy, vx: vx, vy: vy, radius: r, brightness: bright}
+	}
+	return []*Video{
+		mk(1, "static-lab", 0.8, 0, 0, nil),
+		mk(2, "static-warehouse", 1.0, 0, 0, nil),
+		mk(3, "static-greenhouse", 1.3, 0, 0, nil),
+		mk(4, "static-night", 1.6, 0, 0, nil),
+
+		mk(5, "talker-desk", 1.0, 0, 0, []object{disc(32, 30, 0.12, 0.05, 9, 215)}),
+		mk(6, "talker-podium", 1.2, 0, 0, []object{disc(26, 34, 0.18, 0.08, 10, 200)}),
+		mk(7, "talker-kiosk", 1.4, 0, 0, []object{disc(38, 28, 0.25, 0.12, 8, 225)}),
+		mk(8, "talker-window", 1.6, 0, 0, []object{disc(30, 32, 0.3, 0.15, 9, 190)}),
+
+		mk(9, "traffic-dawn", 1.1, 0, 0, []object{
+			disc(8, 20, 0.9, 0, 5, 230), disc(50, 44, -0.7, 0, 6, 40)}),
+		mk(10, "traffic-noon", 1.3, 0, 0, []object{
+			disc(4, 16, 1.2, 0, 5, 235), disc(60, 40, -1.0, 0, 5, 30), disc(30, 54, 0.8, 0, 4, 210)}),
+		mk(11, "traffic-rush", 1.5, 0, 0, []object{
+			disc(10, 14, 1.5, 0.1, 6, 240), disc(55, 36, -1.3, 0, 5, 25),
+			disc(20, 50, 1.1, -0.1, 4, 215), disc(40, 26, -0.9, 0, 5, 205)}),
+		mk(12, "traffic-night", 1.7, 0, 0, []object{
+			disc(6, 22, 1.8, 0.2, 5, 245), disc(58, 46, -1.6, -0.1, 6, 20), disc(34, 12, 1.2, 0.3, 4, 230)}),
+
+		mk(13, "boat-harbor", 1.2, 3, 0, []object{disc(16, 40, 0.8, 0.1, 8, 220)}),
+		mk(14, "boat-river", 1.4, 5, 0, []object{disc(12, 42, 1.1, 0.15, 9, 210)}),
+		mk(15, "boat-chop", 1.6, 8, 0.1, []object{disc(20, 44, 1.4, -0.2, 8, 230)}),
+		mk(16, "boat-storm", 1.9, 12, 0.15, []object{disc(24, 42, 1.8, 0.3, 9, 240), disc(48, 50, -1.2, 0.2, 5, 35)}),
+	}
+}
+
+// ByID returns the suite video with the given ID, or nil.
+func ByID(id int) *Video {
+	for _, v := range Suite() {
+		if v.ID == id {
+			return v
+		}
+	}
+	return nil
+}
