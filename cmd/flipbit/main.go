@@ -24,14 +24,26 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "trim workloads for a fast run (shapes preserved)")
 	csvDir := flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+	benchJSON := flag.String("benchjson", "", "run the writepath benchmark and write its JSON report to this path")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
+	cfg := bench.Config{Quick: *quick}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "flipbit: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+		if len(args) == 0 {
+			return
+		}
+	}
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
 	}
-	cfg := bench.Config{Quick: *quick}
 
 	if args[0] == "list" {
 		for _, e := range bench.Registry() {
@@ -69,6 +81,19 @@ func main() {
 			}
 		}
 	}
+}
+
+func writeBenchJSON(path string, cfg bench.Config) error {
+	rep, err := bench.RunWritePath(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rep.WriteJSON(f)
 }
 
 func writeCSV(dir, id string, tab *bench.Table) error {

@@ -86,6 +86,42 @@ type (
 	Power  = energy.Power
 )
 
+// Observer receives one OpEvent per flash operation from the op-event bus.
+// Implementations must be safe for concurrent use: banks emit in parallel.
+type Observer = flash.Observer
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = flash.ObserverFunc
+
+// OpEvent describes one flash operation: kind, bank, address, cost.
+type OpEvent = flash.OpEvent
+
+// OpKind discriminates OpEvent records.
+type OpKind = flash.OpKind
+
+// Operation kinds carried by OpEvent.Kind.
+const (
+	OpRead        = flash.OpRead
+	OpProgram     = flash.OpProgram
+	OpProgramSkip = flash.OpProgramSkip
+	OpErase       = flash.OpErase
+)
+
+// Ledger is a concurrency-safe energy accounting sink; subscribe one with
+// NewLedgerObserver to meter a device's energy per operation kind.
+type Ledger = energy.Ledger
+
+// Trace records state-changing flash operations in a capped ring buffer.
+type Trace = flash.Trace
+
+// NewLedgerObserver adapts a Ledger into an Observer for WithObserver or
+// Device.Flash().Attach.
+func NewLedgerObserver(l *Ledger) Observer { return flash.NewLedgerObserver(l) }
+
+// NewTrace returns a Trace retaining at most limit entries (0 or negative
+// selects flash.DefaultTraceLimit); older entries are evicted and counted.
+func NewTrace(limit int) *Trace { return flash.NewTrace(limit) }
+
 // NewDevice builds a FlipBit device over a fresh (fully erased) flash array
 // described by spec. Approximation starts disabled; configure it with
 // SetApproxRegion, SetWidth and SetThreshold.
@@ -99,6 +135,15 @@ func DefaultSpec() Spec { return flash.DefaultSpec() }
 
 // WithEncoder selects the approximation encoder (default: 2-bit).
 func WithEncoder(e Encoder) Option { return core.WithEncoder(e) }
+
+// WithBanks overrides the flash bank count (parallelism domains) regardless
+// of what spec.Banks says. Pages interleave round-robin across banks;
+// operations on different banks may proceed concurrently.
+func WithBanks(n int) Option { return core.WithBanks(n) }
+
+// WithObserver attaches an observer to the device's op-event bus at
+// construction, before any operation can be missed.
+func WithObserver(o Observer) Option { return core.WithObserver(o) }
 
 // NewNBitEncoder returns the n-bit approximation encoder of Algorithm 2
 // (1 <= n <= 8). n = 2 is the paper's headline configuration.

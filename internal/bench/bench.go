@@ -135,6 +135,7 @@ func Registry() []Experiment {
 		{"exp-related", "related-work erase-reduction techniques (§VII)", ExpRelated},
 		{"exp-wear", "wear leveling × FlipBit composition (§II-B)", ExpWear},
 		{"exp-harvest", "energy-harvesting checkpoint progress (§VI)", ExpHarvest},
+		{"writepath", "bank-sharded commit throughput, serial vs concurrent", ExpWritePath},
 	}
 }
 

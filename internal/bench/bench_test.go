@@ -249,6 +249,41 @@ func TestRenderAlignment(t *testing.T) {
 	}
 }
 
+// TestWritePathShape pins the tentpole's scaling claim: on a 4-bank device
+// the commit benchmark must show at least 2× device-time throughput at 4
+// workers versus 1, and the report must serialize to JSON.
+func TestWritePathShape(t *testing.T) {
+	rep, err := RunWritePath(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Banks != 4 {
+		t.Fatalf("expected a 4-bank device, got %d", rep.Banks)
+	}
+	var at1, at4 float64
+	for _, r := range rep.Rows {
+		if r.Workers == 1 {
+			at1 = r.DeviceOpsPerSec
+		}
+		if r.Workers == 4 {
+			at4 = r.DeviceOpsPerSec
+		}
+	}
+	if at1 <= 0 || at4 <= 0 {
+		t.Fatalf("missing 1- or 4-worker row: %+v", rep.Rows)
+	}
+	if at4 < 2*at1 {
+		t.Errorf("4-worker throughput %.0f ops/s is not ≥2× the 1-worker %.0f ops/s", at4, at1)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "speedup_vs_1_worker") {
+		t.Error("JSON report missing speedup field")
+	}
+}
+
 func TestGeomean(t *testing.T) {
 	if g := geomean([]float64{4, 1}); g != 2 {
 		t.Errorf("geomean(4,1) = %v", g)

@@ -99,25 +99,39 @@ func Fig12(cfg Config) (*Table, error) {
 		Columns: []string{"model", "threshold", "baseline acc", "FlipBit acc", "energy reduction", "erases base→fb"},
 	}
 	limit := mlLimit(cfg)
-	var reds []float64
-	for _, name := range nn.ModelNames() {
+	type fig12Row struct {
+		thr, baseAcc, acc, red float64
+		baseErases, fbErases   uint64
+	}
+	names := nn.ModelNames()
+	// Models are independent: each run owns a fresh device, so the suite
+	// fans out one model per worker.
+	rows, err := mapConcurrent(names, func(name string) (fig12Row, error) {
 		m := nn.TrainedModel(name)
 		baseAcc, baseStats, err := mlRun(m, 0, limit)
 		if err != nil {
-			return nil, err
+			return fig12Row{}, err
 		}
 		thr, err := tuneThreshold(m, baseAcc, 0.01, limit)
 		if err != nil {
-			return nil, err
+			return fig12Row{}, err
 		}
 		acc, st, err := mlRun(m, thr, limit)
 		if err != nil {
-			return nil, err
+			return fig12Row{}, err
 		}
 		red := 1 - float64(st.Energy)/float64(baseStats.Energy)
-		reds = append(reds, red)
-		t.AddRow(name, fmt.Sprintf("%g", thr), f2(baseAcc), f2(acc), pct(red),
-			fmt.Sprintf("%d→%d", baseStats.Erases, st.Erases))
+		return fig12Row{thr, baseAcc, acc, red, baseStats.Erases, st.Erases}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var reds []float64
+	for i, name := range names {
+		r := rows[i]
+		reds = append(reds, r.red)
+		t.AddRow(name, fmt.Sprintf("%g", r.thr), f2(r.baseAcc), f2(r.acc), pct(r.red),
+			fmt.Sprintf("%d→%d", r.baseErases, r.fbErases))
 	}
 	t.AddRow("MEAN", "", "", "", pct(mean(reds)), "")
 	t.Notes = append(t.Notes,
@@ -138,19 +152,34 @@ func Fig15(cfg Config) (*Table, error) {
 		Columns: []string{"model", "threshold", "energy reduction", "accuracy loss"},
 	}
 	limit := mlLimit(cfg)
-	for _, name := range nn.ModelNames() {
+	type sweepPoint struct {
+		red, loss float64
+	}
+	names := nn.ModelNames()
+	sweeps, err := mapConcurrent(names, func(name string) ([]sweepPoint, error) {
 		m := nn.TrainedModel(name)
 		baseAcc, baseStats, err := mlRun(m, 0, limit)
 		if err != nil {
 			return nil, err
 		}
+		points := make([]sweepPoint, 0, len(thresholds))
 		for _, thr := range thresholds {
 			acc, st, err := mlRun(m, thr, limit)
 			if err != nil {
 				return nil, err
 			}
 			red := 1 - float64(st.Energy)/float64(baseStats.Energy)
-			t.AddRow(name, fmt.Sprintf("%g", thr), pct(red), pct(baseAcc-acc))
+			points = append(points, sweepPoint{red, baseAcc - acc})
+		}
+		return points, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		for j, thr := range thresholds {
+			p := sweeps[i][j]
+			t.AddRow(name, fmt.Sprintf("%g", thr), pct(p.red), pct(p.loss))
 		}
 	}
 	t.Notes = append(t.Notes,
@@ -167,20 +196,24 @@ func Fig18(cfg Config) (*Table, error) {
 		Columns: []string{"model", "threshold", "baseline erases", "FlipBit erases", "lifetime increase"},
 	}
 	limit := mlLimit(cfg)
-	var incs []float64
-	for _, name := range nn.ModelNames() {
+	type fig18Row struct {
+		thr, inc             float64
+		baseErases, fbErases uint64
+	}
+	names := nn.ModelNames()
+	rows, err := mapConcurrent(names, func(name string) (fig18Row, error) {
 		m := nn.TrainedModel(name)
 		baseAcc, baseStats, err := mlRun(m, 0, limit)
 		if err != nil {
-			return nil, err
+			return fig18Row{}, err
 		}
 		thr, err := tuneThreshold(m, baseAcc, 0.01, limit)
 		if err != nil {
-			return nil, err
+			return fig18Row{}, err
 		}
 		_, st, err := mlRun(m, thr, limit)
 		if err != nil {
-			return nil, err
+			return fig18Row{}, err
 		}
 		inc := 0.0
 		if st.Erases > 0 {
@@ -188,9 +221,17 @@ func Fig18(cfg Config) (*Table, error) {
 		} else if baseStats.Erases > 0 {
 			inc = float64(baseStats.Erases)
 		}
-		incs = append(incs, 1+inc)
-		t.AddRow(name, fmt.Sprintf("%g", thr),
-			fmt.Sprintf("%d", baseStats.Erases), fmt.Sprintf("%d", st.Erases), pct(inc))
+		return fig18Row{thr, inc, baseStats.Erases, st.Erases}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var incs []float64
+	for i, name := range names {
+		r := rows[i]
+		incs = append(incs, 1+r.inc)
+		t.AddRow(name, fmt.Sprintf("%g", r.thr),
+			fmt.Sprintf("%d", r.baseErases), fmt.Sprintf("%d", r.fbErases), pct(r.inc))
 	}
 	t.AddRow("GEOMEAN", "", "", "", pct(geomean(incs)-1))
 	t.Notes = append(t.Notes, "paper geomean: +44% for the ML benchmarks (§V-C)")

@@ -37,6 +37,28 @@ func captureBoth(v *video.Video, encoderN int, threshold float64) (base, fb vide
 	return
 }
 
+// capturePair is one video's baseline + FlipBit results.
+type capturePair struct {
+	base, fb video.CaptureResult
+}
+
+// captureSuiteBoth drives captureBoth across the whole suite in parallel
+// (each capture owns its device, so clips are independent) and returns
+// results in suite order.
+func captureSuiteBoth(suite []*video.Video, encoderN int, threshold float64) ([]capturePair, error) {
+	return mapConcurrent(suite, func(v *video.Video) (capturePair, error) {
+		base, fb, err := captureBoth(v, encoderN, threshold)
+		return capturePair{base, fb}, err
+	})
+}
+
+// captureSuite runs one capture configuration over every clip in parallel.
+func captureSuite(suite []*video.Video, cc video.CaptureConfig) ([]video.CaptureResult, error) {
+	return mapConcurrent(suite, func(v *video.Video) (video.CaptureResult, error) {
+		return video.Capture(v, cc)
+	})
+}
+
 // Fig10 reports per-video flash-energy reduction and PSNR for the 2-bit
 // algorithm at threshold 2.
 func Fig10(cfg Config) (*Table, error) {
@@ -45,12 +67,14 @@ func Fig10(cfg Config) (*Table, error) {
 		Title:   "video energy reduction and PSNR, 2-bit approximation [Fig. 10]",
 		Columns: []string{"id", "video", "energy reduction", "PSNR (dB)", "flash energy", "baseline"},
 	}
+	suite := videoSuite(cfg)
+	pairs, err := captureSuiteBoth(suite, 2, fig10Threshold)
+	if err != nil {
+		return nil, err
+	}
 	var reds, psnrs []float64
-	for _, v := range videoSuite(cfg) {
-		base, fb, err := captureBoth(v, 2, fig10Threshold)
-		if err != nil {
-			return nil, err
-		}
+	for i, v := range suite {
+		base, fb := pairs[i].base, pairs[i].fb
 		red := video.EnergyReduction(base, fb)
 		reds = append(reds, red)
 		psnrs = append(psnrs, fb.MeanPSNR)
@@ -71,12 +95,15 @@ func Fig11(cfg Config) (*Table, error) {
 		Title:   "PSNR: 2-bit FlipBit vs frame-rate reduction at matched energy [Fig. 11]",
 		Columns: []string{"id", "video", "FlipBit PSNR", "reduced-rate PSNR", "kept frames", "energy ratio"},
 	}
-	var fbWins int
-	var rows int
-	for _, v := range videoSuite(cfg) {
+	type fig11Row struct {
+		fb, reduced video.CaptureResult
+		ratio       float64
+	}
+	suite := videoSuite(cfg)
+	rowsData, err := mapConcurrent(suite, func(v *video.Video) (fig11Row, error) {
 		base, fb, err := captureBoth(v, 2, fig10Threshold)
 		if err != nil {
-			return nil, err
+			return fig11Row{}, err
 		}
 		red := video.EnergyReduction(base, fb)
 		// Frame-rate reduction keeps a fraction r of frames and uses
@@ -88,16 +115,25 @@ func Fig11(cfg Config) (*Table, error) {
 		}
 		reduced, err := video.Capture(v, video.CaptureConfig{EncoderN: 0, FrameKeepRatio: ratio})
 		if err != nil {
-			return nil, err
+			return fig11Row{}, err
 		}
+		return fig11Row{fb, reduced, ratio}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var fbWins int
+	var rows int
+	for i, v := range suite {
+		r := rowsData[i]
 		energyRatio := 0.0
-		if fb.Flash.Energy > 0 {
-			energyRatio = float64(reduced.Flash.Energy) / float64(fb.Flash.Energy)
+		if r.fb.Flash.Energy > 0 {
+			energyRatio = float64(r.reduced.Flash.Energy) / float64(r.fb.Flash.Energy)
 		}
-		t.AddRow(fmt.Sprintf("%d", v.ID), v.Name, f1(fb.GlobalPSNR), f1(reduced.GlobalPSNR),
-			fmt.Sprintf("%.2f", ratio), f2(energyRatio))
+		t.AddRow(fmt.Sprintf("%d", v.ID), v.Name, f1(r.fb.GlobalPSNR), f1(r.reduced.GlobalPSNR),
+			fmt.Sprintf("%.2f", r.ratio), f2(energyRatio))
 		rows++
-		if fb.GlobalPSNR > reduced.GlobalPSNR {
+		if r.fb.GlobalPSNR > r.reduced.GlobalPSNR {
 			fbWins++
 		}
 	}
@@ -119,23 +155,19 @@ func Fig14(cfg Config) (*Table, error) {
 		Columns: []string{"threshold", "mean energy reduction", "mean PSNR (dB)"},
 	}
 	suite := videoSuite(cfg)
-	bases := make([]video.CaptureResult, len(suite))
-	for i, v := range suite {
-		b, err := video.Capture(v, video.CaptureConfig{EncoderN: 0})
+	bases, err := captureSuite(suite, video.CaptureConfig{EncoderN: 0})
+	if err != nil {
+		return nil, err
+	}
+	for _, thr := range thresholds {
+		fbs, err := captureSuite(suite, video.CaptureConfig{EncoderN: 2, Threshold: thr})
 		if err != nil {
 			return nil, err
 		}
-		bases[i] = b
-	}
-	for _, thr := range thresholds {
 		var reds, psnrs []float64
-		for i, v := range suite {
-			fb, err := video.Capture(v, video.CaptureConfig{EncoderN: 2, Threshold: thr})
-			if err != nil {
-				return nil, err
-			}
-			reds = append(reds, video.EnergyReduction(bases[i], fb))
-			psnrs = append(psnrs, fb.MeanPSNR)
+		for i := range suite {
+			reds = append(reds, video.EnergyReduction(bases[i], fbs[i]))
+			psnrs = append(psnrs, fbs[i].MeanPSNR)
 		}
 		t.AddRow(fmt.Sprintf("%g", thr), pct(mean(reds)), f1(mean(psnrs)))
 	}
@@ -156,23 +188,19 @@ func Fig16(cfg Config) (*Table, error) {
 		Columns: []string{"N", "mean energy reduction", "mean PSNR (dB)"},
 	}
 	suite := videoSuite(cfg)
-	bases := make([]video.CaptureResult, len(suite))
-	for i, v := range suite {
-		b, err := video.Capture(v, video.CaptureConfig{EncoderN: 0})
+	bases, err := captureSuite(suite, video.CaptureConfig{EncoderN: 0})
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range ns {
+		fbs, err := captureSuite(suite, video.CaptureConfig{EncoderN: n, Threshold: fig10Threshold})
 		if err != nil {
 			return nil, err
 		}
-		bases[i] = b
-	}
-	for _, n := range ns {
 		var reds, psnrs []float64
-		for i, v := range suite {
-			fb, err := video.Capture(v, video.CaptureConfig{EncoderN: n, Threshold: fig10Threshold})
-			if err != nil {
-				return nil, err
-			}
-			reds = append(reds, video.EnergyReduction(bases[i], fb))
-			psnrs = append(psnrs, fb.MeanPSNR)
+		for i := range suite {
+			reds = append(reds, video.EnergyReduction(bases[i], fbs[i]))
+			psnrs = append(psnrs, fbs[i].MeanPSNR)
 		}
 		t.AddRow(fmt.Sprintf("%d", n), pct(mean(reds)), f1(mean(psnrs)))
 	}
@@ -188,12 +216,14 @@ func Fig17(cfg Config) (*Table, error) {
 		Title:   "flash lifetime increase on video [Fig. 17]",
 		Columns: []string{"id", "video", "baseline erases", "FlipBit erases", "lifetime increase"},
 	}
+	suite := videoSuite(cfg)
+	pairs, err := captureSuiteBoth(suite, 2, fig10Threshold)
+	if err != nil {
+		return nil, err
+	}
 	var incs []float64
-	for _, v := range videoSuite(cfg) {
-		base, fb, err := captureBoth(v, 2, fig10Threshold)
-		if err != nil {
-			return nil, err
-		}
+	for i, v := range suite {
+		base, fb := pairs[i].base, pairs[i].fb
 		inc := video.LifetimeIncrease(base, fb)
 		incs = append(incs, 1+inc) // geomean over ratios
 		t.AddRow(fmt.Sprintf("%d", v.ID), v.Name,

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+)
+
+// mapConcurrent applies fn to every item on up to runtime.NumCPU() worker
+// goroutines and returns the results in input order. The first error wins;
+// remaining items are skipped once an error is recorded. Experiments use it
+// to fan independent simulations (one device per call) across cores while
+// keeping tables deterministic.
+func mapConcurrent[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results, nil
+	}
+	workers := runtime.NumCPU()
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		next     int
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= len(items) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				r, err := fn(items[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstErr
+}

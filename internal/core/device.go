@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/flipbit-sim/flipbit/internal/approx"
 	"github.com/flipbit-sim/flipbit/internal/bits"
@@ -64,9 +65,26 @@ func (s Stats) MAE() float64 {
 	return float64(s.ErrorSum) / float64(s.ValuesTotal)
 }
 
+// add folds o into s.
+func (s *Stats) add(o Stats) {
+	s.PagesApprox += o.PagesApprox
+	s.PagesExact += o.PagesExact
+	s.ValuesApproximated += o.ValuesApproximated
+	s.ValuesTotal += o.ValuesTotal
+	s.ErrorSum += o.ErrorSum
+}
+
 // Device is a flash chip with the FlipBit controller attached. All writes
-// go through the dual-buffer commit path of §III-B; reads pass straight
+// go through the buffered commit pipeline of §III-B; reads pass straight
 // through to the flash array.
+//
+// Read and Write are safe for concurrent use: commits to pages in
+// different flash banks proceed in parallel, commits within one bank
+// serialize on the bank's commit lock, and controller statistics are
+// sharded per bank and merged deterministically, so a concurrent run
+// reports totals identical to a serial run of the same per-bank workload.
+// Configuration (WriteReg, SetThreshold, SetEncoder, …) is not
+// synchronised against in-flight writes: configure, then commit traffic.
 type Device struct {
 	fl   *flash.Device
 	regs registerFile
@@ -75,7 +93,29 @@ type Device struct {
 	metric   ErrorMetric
 	fallback FallbackPolicy
 
-	stats Stats
+	// commitMu serializes commit sessions per bank; shards are the
+	// matching per-bank controller statistics, each guarded by its
+	// bank's commit lock.
+	commitMu []sync.Mutex
+	shards   []Stats
+
+	// bufPool recycles commit-session buffer sets; commits borrow a set
+	// for the duration of one page session instead of contending for the
+	// two fixed SRAM buffers of the serial design.
+	bufPool sync.Pool
+
+	// Construction-time option state.
+	banksOverride int
+	observers     []flash.Observer
+}
+
+// commitBuffers is the SRAM triple one page commit works on: the page's
+// previous contents, the exact data after the CPU's stores, and the
+// approximation candidate.
+type commitBuffers struct {
+	previous []byte
+	exact    []byte
+	approx   []byte
 }
 
 // Option configures a Device at construction.
@@ -91,21 +131,50 @@ func WithErrorMetric(m ErrorMetric) Option { return func(d *Device) { d.metric =
 // WithFallbackPolicy selects per-page (default) or per-value fallback.
 func WithFallbackPolicy(p FallbackPolicy) Option { return func(d *Device) { d.fallback = p } }
 
+// WithBanks overrides the flash spec's bank count (n independently
+// lockable banks; commits to different banks run in parallel).
+func WithBanks(n int) Option { return func(d *Device) { d.banksOverride = n } }
+
+// WithObserver attaches an operation-event observer to the underlying
+// flash device at construction. The observer receives every flash
+// operation the controller issues; it must be safe for concurrent use if
+// the device is driven from multiple goroutines.
+func WithObserver(o flash.Observer) Option {
+	return func(d *Device) { d.observers = append(d.observers, o) }
+}
+
 // NewDevice builds a FlipBit device over a fresh flash array described by
 // spec. The controller starts with approximation disabled (empty region),
 // width 8 and threshold 0.
 func NewDevice(spec flash.Spec, opts ...Option) (*Device, error) {
-	fl, err := flash.NewDevice(spec)
-	if err != nil {
-		return nil, err
-	}
 	d := &Device{
-		fl:  fl,
 		enc: approx.MustNBit(2),
 	}
 	d.regs[RegWidth] = uint32(bits.W8)
 	for _, o := range opts {
 		o(d)
+	}
+	if d.banksOverride > 0 {
+		spec.Banks = d.banksOverride
+	}
+	fl, err := flash.NewDevice(spec)
+	if err != nil {
+		return nil, err
+	}
+	d.fl = fl
+	for _, o := range d.observers {
+		fl.Attach(o)
+	}
+	nb := fl.Banks()
+	d.commitMu = make([]sync.Mutex, nb)
+	d.shards = make([]Stats, nb)
+	ps := fl.Spec().PageSize
+	d.bufPool.New = func() any {
+		return &commitBuffers{
+			previous: make([]byte, ps),
+			exact:    make([]byte, ps),
+			approx:   make([]byte, ps),
+		}
 	}
 	return d, nil
 }
@@ -122,12 +191,39 @@ func MustNewDevice(spec flash.Spec, opts ...Option) *Device {
 // Flash exposes the underlying flash device for statistics and inspection.
 func (d *Device) Flash() *flash.Device { return d.fl }
 
-// Stats returns a snapshot of the controller's decision counters.
-func (d *Device) Stats() Stats { return d.stats }
+// Stats returns a snapshot of the controller's decision counters: the
+// per-bank shards merged in bank order. All counters are integers, so the
+// merge is exact and a concurrent run that performed the same per-bank
+// commits as a serial run reports identical totals.
+func (d *Device) Stats() Stats {
+	var s Stats
+	for b := range d.shards {
+		d.commitMu[b].Lock()
+		s.add(d.shards[b])
+		d.commitMu[b].Unlock()
+	}
+	return s
+}
 
-// ResetStats clears both controller and flash statistics.
+// BankStats returns the controller stats shard for one flash bank.
+func (d *Device) BankStats(b int) Stats {
+	d.commitMu[b].Lock()
+	defer d.commitMu[b].Unlock()
+	return d.shards[b]
+}
+
+// ResetStats clears both controller and flash statistics. This is the
+// deep reset: the controller's per-bank decision shards and every flash
+// bank's operation ledger go to zero together, so before/after deltas line
+// up across both layers. Flash wear counters are physical state and are
+// preserved (see flash.Device.ResetStats). To clear only the flash ledger
+// and keep the controller's decision history, call Flash().ResetStats().
 func (d *Device) ResetStats() {
-	d.stats = Stats{}
+	for b := range d.shards {
+		d.commitMu[b].Lock()
+		d.shards[b] = Stats{}
+		d.commitMu[b].Unlock()
+	}
 	d.fl.ResetStats()
 }
 
@@ -243,10 +339,10 @@ func (d *Device) Read(addr int, dst []byte) error {
 	return d.fl.Read(addr, dst)
 }
 
-// Write stores data at addr through the FlipBit commit path, splitting the
-// access into page-sized sessions. Pages inside the approximatable region
-// may be written approximately; all other pages are written exactly (with
-// an erase only when physically required).
+// Write stores data at addr through the FlipBit commit pipeline, splitting
+// the access into page-sized sessions. Pages inside the approximatable
+// region may be written approximately; all other pages are written exactly
+// (with an erase only when physically required).
 //
 // A worn-out page reports flash.ErrWornOut but the write is still performed
 // best-effort, so callers can continue and observe degraded data — exactly
@@ -277,52 +373,118 @@ func (d *Device) Write(addr int, data []byte) error {
 	return wornOut
 }
 
-// commitPage runs one dual-buffer write session (§III-B "System
-// Integration") for a single page: off/data describe the bytes the CPU
-// stores into the exact buffer.
+// --- Commit pipeline (§III-B "System Integration") ---
+//
+// One page commit runs five explicit stages:
+//
+//	load   — read the page's previous contents into a pooled buffer set
+//	apply  — the CPU's stores land in the exact buffer
+//	encode — the approximation unit rewrites the approx buffer value by
+//	         value from (previous, exact), tracking error
+//	gate   — the error threshold / reachability decision (Fig. 9 hardware)
+//	program/erase — the chosen buffer commits to the flash array
+//
+// A session borrows its three SRAM page buffers from a sync.Pool rather
+// than sharing two fixed device buffers, so sessions against different
+// flash banks run concurrently; the bank's commit lock keeps the
+// read-modify-write atomic per bank.
+
+// session carries one page commit through the pipeline stages.
+type session struct {
+	d    *Device
+	page int
+	off  int
+	data []byte
+	bufs *commitBuffers
+}
+
+// encodeResult is what the encode stage hands the gate stage.
+type encodeResult struct {
+	tracker      approx.ErrorTracker
+	approximated uint64
+	exceeded     bool // per-value policy tripped
+	unreachable  bool // some approximated value needs an erase anyway
+}
+
+// commitPage runs one commit session for a single page: off/data describe
+// the bytes the CPU stores into the exact buffer.
 func (d *Device) commitPage(page, off int, data []byte) error {
-	fl := d.fl
-	// Step 1: read the page into buffer 0 and mirror it into buffer 1.
-	// One array read is charged; the mirror is an SRAM copy.
-	if err := fl.LoadBuffer(0, page); err != nil {
+	bank := d.fl.BankOf(page)
+	d.commitMu[bank].Lock()
+	defer d.commitMu[bank].Unlock()
+
+	bufs := d.bufPool.Get().(*commitBuffers)
+	defer d.bufPool.Put(bufs)
+	s := &session{d: d, page: page, off: off, data: data, bufs: bufs}
+
+	// Stage 1: load. One array read is charged; the mirror into the
+	// exact buffer is an SRAM copy.
+	if err := s.load(); err != nil {
 		return err
 	}
-	exactBuf := fl.Buffer(0)
-	approxBuf := fl.Buffer(1)
-	previous := make([]byte, len(exactBuf))
-	copy(previous, exactBuf)
-	copy(approxBuf, exactBuf)
-
-	// Step 2: the CPU writes the exact values into buffer 0.
-	copy(exactBuf[off:], data)
+	// Stage 2: apply the CPU's stores.
+	s.apply()
 
 	if !d.Approximatable(page) {
-		return d.commitExact(page)
+		return s.programExact()
 	}
 
-	// Step 3: the approximation hardware rewrites buffer 1 value by
-	// value from (previous, exact), tracking error over the values the
-	// CPU actually touched.
+	// Stage 3: encode the approximation candidate.
+	enc := s.encode()
+
+	// Stage 4: gate on the error threshold (Fig. 9 hardware).
+	if s.gate(enc) {
+		d.shards[bank].PagesExact++
+		return s.eraseProgramExact()
+	}
+
+	// Stage 5: approximate commit — programs only, no erase possible by
+	// construction (every value is a bitwise subset of previous).
+	sh := &d.shards[bank]
+	sh.PagesApprox++
+	sh.ValuesApproximated += enc.approximated
+	sh.ValuesTotal += uint64(enc.tracker.Count())
+	sh.ErrorSum += enc.tracker.SumAbs()
+	return s.programApprox()
+}
+
+// load reads the page into the previous buffer and mirrors it into the
+// exact and approx buffers.
+func (s *session) load() error {
+	if err := s.d.fl.ReadPage(s.page, s.bufs.previous); err != nil {
+		return err
+	}
+	copy(s.bufs.exact, s.bufs.previous)
+	copy(s.bufs.approx, s.bufs.previous)
+	return nil
+}
+
+// apply lands the CPU's stores in the exact buffer.
+func (s *session) apply() {
+	copy(s.bufs.exact[s.off:], s.data)
+}
+
+// encode rewrites the approx buffer value by value from (previous, exact),
+// tracking error over the values the CPU actually touched.
+func (s *session) encode() encodeResult {
+	d := s.d
 	w := d.Width()
 	vb := w.Bytes()
-	lo, hi := alignDown(off, vb), alignUp(off+len(data), vb)
-	if hi > len(exactBuf) {
-		hi = len(exactBuf)
+	lo, hi := alignDown(s.off, vb), alignUp(s.off+len(s.data), vb)
+	if hi > len(s.bufs.exact) {
+		hi = len(s.bufs.exact)
 	}
-	var tracker approx.ErrorTracker
-	exceeded := false
-	unreachable := false
-	cellMode := fl.Spec().Cell
+	var res encodeResult
+	cellMode := d.fl.Spec().Cell
 	threshold := d.regs[RegThreshold]
-	approximated := uint64(0)
 	for i := lo; i < hi; i += vb {
-		prev := bits.LoadLE(previous[i:], w)
-		exact := bits.LoadLE(exactBuf[i:], w)
+		prev := bits.LoadLE(s.bufs.previous[i:], w)
+		exact := bits.LoadLE(s.bufs.exact[i:], w)
 		a := d.enc.Approximate(prev, exact, w)
-		bits.StoreLE(approxBuf[i:], a, w)
-		tracker.Add(exact, a)
+		bits.StoreLE(s.bufs.approx[i:], a, w)
+		res.tracker.Add(exact, a)
 		if a != exact {
-			approximated++
+			res.approximated++
 		}
 		// Encoders may return a value that is not reachable through
 		// program pulses when approximating it is unacceptable (e.g.
@@ -330,30 +492,53 @@ func (d *Device) commitPage(page, off int, data []byte) error {
 		// the hardware's per-page needs-erase signal forces the
 		// exact fallback in that case.
 		if !valueReachable(cellMode, prev, a, w) {
-			unreachable = true
+			res.unreachable = true
 		}
 		if d.fallback == FallbackPerValue && threshold != ThresholdUnlimited &&
 			uint64(bits.AbsDiff(exact, a))<<ThresholdFracBits > uint64(threshold) {
-			exceeded = true
+			res.exceeded = true
 		}
 	}
+	return res
+}
 
-	// Step 4: gate on the error threshold (Fig. 9 hardware).
-	if d.fallback == FallbackPerPage {
-		exceeded = d.overThreshold(&tracker, threshold)
+// gate decides whether the page must fall back to the exact erase path.
+func (s *session) gate(enc encodeResult) bool {
+	exceeded := enc.exceeded
+	if s.d.fallback == FallbackPerPage {
+		exceeded = s.d.overThreshold(&enc.tracker, s.d.regs[RegThreshold])
 	}
-	if exceeded || unreachable {
-		d.stats.PagesExact++
-		return d.commitExactErase(page)
-	}
+	return exceeded || enc.unreachable
+}
 
-	// Approximate commit: programs only, no erase possible by
-	// construction (every value is a bitwise subset of previous).
-	d.stats.PagesApprox++
-	d.stats.ValuesApproximated += approximated
-	d.stats.ValuesTotal += uint64(tracker.Count())
-	d.stats.ErrorSum += tracker.SumAbs()
-	return fl.ProgramFromBuffer(page, 1)
+// programApprox commits the approximation candidate with programs only.
+func (s *session) programApprox() error {
+	return s.d.fl.ProgramPage(s.page, s.bufs.approx)
+}
+
+// programExact writes the exact buffer to the page, erasing only if some
+// bit needs a 0→1 transition. This is the conventional (non-FlipBit) write
+// path and the fair baseline for every experiment.
+func (s *session) programExact() error {
+	fl := s.d.fl
+	mode := fl.Spec().Cell
+	needErase := false
+	for i, v := range s.bufs.exact {
+		if !mode.Reachable(s.bufs.previous[i], v) {
+			needErase = true
+			break
+		}
+	}
+	if !needErase {
+		return fl.ProgramPage(s.page, s.bufs.exact)
+	}
+	return fl.EraseProgramPage(s.page, s.bufs.exact)
+}
+
+// eraseProgramExact is the approximation-failure fallback: §III-B specifies
+// an exact write to an erased page.
+func (s *session) eraseProgramExact() error {
+	return s.d.fl.EraseProgramPage(s.page, s.bufs.exact)
 }
 
 // ThresholdUnlimited is the all-ones threshold register value; it disables
@@ -373,33 +558,6 @@ func (d *Device) overThreshold(tr *approx.ErrorTracker, threshold uint32) bool {
 	default:
 		return tr.SumAbs()<<ThresholdFracBits > uint64(threshold)*uint64(tr.Count())
 	}
-}
-
-// commitExact writes buffer 0 to the page, erasing only if some bit needs a
-// 0→1 transition. This is the conventional (non-FlipBit) write path and the
-// fair baseline for every experiment.
-func (d *Device) commitExact(page int) error {
-	fl := d.fl
-	buf := fl.Buffer(0)
-	base := fl.PageBase(page)
-	mode := fl.Spec().Cell
-	needErase := false
-	for i, v := range buf {
-		if !mode.Reachable(fl.Peek(base+i), v) {
-			needErase = true
-			break
-		}
-	}
-	if !needErase {
-		return fl.ProgramFromBuffer(page, 0)
-	}
-	return fl.EraseProgramFromBuffer(page, 0)
-}
-
-// commitExactErase is the approximation-failure fallback: §III-B specifies
-// an exact write to an erased page.
-func (d *Device) commitExactErase(page int) error {
-	return d.fl.EraseProgramFromBuffer(page, 0)
 }
 
 // valueReachable reports whether a width-w value can move from `from` to

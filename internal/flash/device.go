@@ -3,6 +3,7 @@ package flash
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/flipbit-sim/flipbit/internal/energy"
@@ -19,12 +20,10 @@ var (
 	ErrWornOut = errors.New("flash: page exceeded program/erase endurance")
 	// ErrBounds is returned for out-of-range addresses or page numbers.
 	ErrBounds = errors.New("flash: address out of range")
+	// ErrPageSize is returned when a page operation is given a buffer
+	// whose length is not exactly one page.
+	ErrPageSize = errors.New("flash: buffer length must equal the page size")
 )
-
-// NumBuffers is the number of SRAM page write buffers. Commercial parts
-// provide two so that page updates can be interleaved (§II-A); FlipBit
-// repurposes the second buffer to hold the approximate page copy (§III-B).
-const NumBuffers = 2
 
 // Stats counts flash operations and accumulates their energy and busy time.
 type Stats struct {
@@ -61,20 +60,35 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
-// Device is a simulated NOR flash chip: the memory array, the page write
-// buffers, wear counters and the operation ledger.
+// bank is one independently lockable shard of the device: real NOR/NAND
+// parts expose internal bank/plane parallelism, and the simulator mirrors
+// that structure so operations on different banks proceed concurrently.
+// Pages are interleaved across banks round-robin (page p lives in bank
+// p % Banks), and everything a page operation touches — the page's array
+// bytes, wear counter, stats shard and fault RNG — is owned by exactly one
+// bank and guarded by its lock.
+type bank struct {
+	mu    sync.Mutex
+	stats Stats
+	// rng drives the stuck-bit failure model for worn-out pages in this
+	// bank. Per-bank so concurrent banks never share RNG state.
+	rng *xrand.RNG
+}
+
+// Device is a simulated NOR flash chip: the memory array, wear counters,
+// the bank shards and the operation event bus.
 //
-// Device is not safe for concurrent use; embedded flash has a single port.
+// Device is safe for concurrent use. Pages are partitioned across
+// Spec.Banks banks (interleaved round-robin); operations on pages in
+// different banks run in parallel, operations within one bank serialize on
+// the bank's lock. Attach/Detach, SetTracer and SetProgramAll configure the
+// device and must not race in-flight operations.
 type Device struct {
 	spec  Spec
 	array []byte
-	wear  []uint32 // per-page erase count
-	dead  []bool   // per-page worn-out flag
-	bufs  [NumBuffers][]byte
-	stats Stats
-
-	// rng drives the stuck-bit failure model for worn-out pages.
-	rng *xrand.RNG
+	wear  []uint32 // per-page erase count (guarded by the page's bank lock)
+	dead  []bool   // per-page worn-out flag (guarded by the page's bank lock)
+	banks []bank
 
 	// programAll, when set, charges a program pulse even for bytes whose
 	// stored value already equals the target. Real buffered parts skip
@@ -84,7 +98,12 @@ type Device struct {
 	// trace, when attached, records programs and erases (trace.go).
 	trace *Trace
 
-	// One-shot power-loss fault injection (powerloss.go).
+	// obs are the attached operation-event observers (observer.go).
+	obs []Observer
+
+	// One-shot power-loss fault injection (powerloss.go); plMu guards the
+	// arm state against concurrent operations across banks.
+	plMu    sync.Mutex
 	plArmed bool
 	plSkip  int
 }
@@ -93,23 +112,30 @@ type Device struct {
 func (d *Device) SetProgramAll(v bool) { d.programAll = v }
 
 // NewDevice builds a device from spec with every page erased (all ones),
-// which is how flash leaves the factory.
+// which is how flash leaves the factory. A spec with Banks == 0 gets
+// DefaultBanks banks; the bank count is clamped to the page count.
 func NewDevice(spec Spec) (*Device, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if spec.Banks == 0 {
+		spec.Banks = DefaultBanks
+	}
+	if spec.Banks > spec.NumPages {
+		spec.Banks = spec.NumPages
 	}
 	d := &Device{
 		spec:  spec,
 		array: make([]byte, spec.Size()),
 		wear:  make([]uint32, spec.NumPages),
 		dead:  make([]bool, spec.NumPages),
-		rng:   xrand.New(0xF1A5),
+		banks: make([]bank, spec.Banks),
 	}
 	for i := range d.array {
 		d.array[i] = 0xFF
 	}
-	for b := range d.bufs {
-		d.bufs[b] = make([]byte, spec.PageSize)
+	for b := range d.banks {
+		d.banks[b].rng = xrand.New(0xF1A5 + uint64(b))
 	}
 	return d, nil
 }
@@ -123,14 +149,53 @@ func MustNewDevice(spec Spec) *Device {
 	return d
 }
 
-// Spec returns the device's specification.
+// Spec returns the device's specification (with the bank count normalised).
 func (d *Device) Spec() Spec { return d.spec }
 
-// Stats returns a snapshot of the operation ledger.
-func (d *Device) Stats() Stats { return d.stats }
+// Banks returns the number of banks the device operates.
+func (d *Device) Banks() int { return len(d.banks) }
 
-// ResetStats clears the operation ledger (wear is preserved: it is physical).
-func (d *Device) ResetStats() { d.stats = Stats{} }
+// BankOf returns the bank that owns page p. Pages are interleaved
+// round-robin so consecutive pages land in different banks.
+func (d *Device) BankOf(p int) int { return p % len(d.banks) }
+
+// bankOfAddr returns the bank owning the page containing addr.
+func (d *Device) bankOfAddr(addr int) int { return d.BankOf(d.PageOf(addr)) }
+
+// Stats returns a snapshot of the operation ledger: the per-bank shards
+// merged in bank order. The merge is deterministic, so a concurrent run
+// that issues the same per-bank operation sequences as a serial run
+// reports byte-identical totals.
+func (d *Device) Stats() Stats {
+	var s Stats
+	for b := range d.banks {
+		bk := &d.banks[b]
+		bk.mu.Lock()
+		s = s.Add(bk.stats)
+		bk.mu.Unlock()
+	}
+	return s
+}
+
+// BankStats returns the stats shard of bank b.
+func (d *Device) BankStats(b int) Stats {
+	bk := &d.banks[b]
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	return bk.stats
+}
+
+// ResetStats clears the operation ledger of every bank. Wear counters and
+// worn-out flags are preserved: they are physical state, not accounting.
+// Attached observers are unaffected (a Trace keeps its entries).
+func (d *Device) ResetStats() {
+	for b := range d.banks {
+		bk := &d.banks[b]
+		bk.mu.Lock()
+		bk.stats = Stats{}
+		bk.mu.Unlock()
+	}
+}
 
 // PageOf returns the page number containing addr.
 func (d *Device) PageOf(addr int) int { return addr / d.spec.PageSize }
@@ -152,64 +217,131 @@ func (d *Device) checkPage(p int) error {
 	return nil
 }
 
+// emit delivers one operation event: first to the owning bank's stats
+// shard, then to the trace and every attached observer. Must be called with
+// the bank's lock held, which orders events within a bank; observers see
+// events from different banks concurrently and must synchronise themselves.
+func (d *Device) emit(ev OpEvent) {
+	d.banks[ev.Bank].stats.apply(ev)
+	if d.trace != nil {
+		d.trace.OnOp(ev)
+	}
+	for _, o := range d.obs {
+		o.OnOp(ev)
+	}
+}
+
 // ReadByteAt reads the byte at addr, charging read latency and energy.
 func (d *Device) ReadByteAt(addr int) (byte, error) {
 	if err := d.checkAddr(addr, 1); err != nil {
 		return 0, err
 	}
-	d.stats.Reads++
-	d.stats.Energy += d.spec.ReadEnergy
-	d.stats.Busy += d.spec.ReadLatency
+	b := d.bankOfAddr(addr)
+	bk := &d.banks[b]
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	d.emit(OpEvent{
+		Kind: OpRead, Bank: b, Addr: addr, Bytes: 1,
+		Energy: d.spec.ReadEnergy, Busy: d.spec.ReadLatency,
+	})
 	return d.array[addr], nil
 }
 
-// Read fills dst from consecutive addresses starting at addr.
+// Read fills dst from consecutive addresses starting at addr. A read that
+// spans pages locks each page's bank in turn, so concurrent writers to
+// other pages are never blocked for the whole transfer.
 func (d *Device) Read(addr int, dst []byte) error {
 	if err := d.checkAddr(addr, len(dst)); err != nil {
 		return err
 	}
-	copy(dst, d.array[addr:addr+len(dst)])
-	d.stats.Reads += uint64(len(dst))
-	d.stats.Energy += d.spec.ReadEnergy * energy.Energy(len(dst))
-	d.stats.Busy += d.spec.ReadLatency * time.Duration(len(dst))
+	for off := 0; off < len(dst); {
+		page := d.PageOf(addr + off)
+		n := d.PageBase(page) + d.spec.PageSize - (addr + off)
+		if n > len(dst)-off {
+			n = len(dst) - off
+		}
+		b := d.BankOf(page)
+		bk := &d.banks[b]
+		bk.mu.Lock()
+		copy(dst[off:off+n], d.array[addr+off:addr+off+n])
+		d.emit(OpEvent{
+			Kind: OpRead, Bank: b, Addr: addr + off, Bytes: n,
+			Energy: d.spec.ReadEnergy * energy.Energy(n),
+			Busy:   d.spec.ReadLatency * time.Duration(n),
+		})
+		bk.mu.Unlock()
+		off += n
+	}
+	return nil
+}
+
+// ReadPage fills dst (exactly one page long) from page p, charging a page's
+// worth of reads. This is step 1 of the read-modify-write operation (§II-A),
+// performed into a caller-owned buffer.
+func (d *Device) ReadPage(p int, dst []byte) error {
+	if err := d.checkPage(p); err != nil {
+		return err
+	}
+	if len(dst) != d.spec.PageSize {
+		return fmt.Errorf("%w: got %d, page size %d", ErrPageSize, len(dst), d.spec.PageSize)
+	}
+	b := d.BankOf(p)
+	bk := &d.banks[b]
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	base := d.PageBase(p)
+	copy(dst, d.array[base:base+d.spec.PageSize])
+	d.emit(OpEvent{
+		Kind: OpRead, Bank: b, Addr: base, Bytes: d.spec.PageSize,
+		Energy: d.spec.ReadEnergy * energy.Energy(d.spec.PageSize),
+		Busy:   d.spec.ReadLatency * time.Duration(d.spec.PageSize),
+	})
 	return nil
 }
 
 // ProgramByte programs one byte. Programming can only clear bits: if v
 // requires any 0 → 1 transition relative to the stored byte, the operation
 // fails with ErrNeedsErase and nothing is charged (the controller checks
-// before issuing). Programming a byte to its current value is skipped by the
-// controller logic and charged nothing, matching buffered page programming
-// where unchanged bytes need no pulse.
+// before issuing). Programming a byte to its current value is skipped and
+// charged nothing, matching buffered page programming where unchanged bytes
+// need no pulse.
 func (d *Device) ProgramByte(addr int, v byte) error {
 	if err := d.checkAddr(addr, 1); err != nil {
 		return err
 	}
+	b := d.bankOfAddr(addr)
+	bk := &d.banks[b]
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	return d.programByteLocked(b, addr, v)
+}
+
+// programByteLocked is ProgramByte with bank b's lock held.
+func (d *Device) programByteLocked(b, addr int, v byte) error {
 	cur := d.array[addr]
 	if !d.spec.Cell.Reachable(cur, v) {
 		return fmt.Errorf("%w: addr %#x stored %08b want %08b (%v)", ErrNeedsErase, addr, cur, v, d.spec.Cell)
 	}
 	if v == cur && !d.programAll {
-		d.stats.ProgramsSkipped++
+		d.emit(OpEvent{Kind: OpProgramSkip, Bank: b, Addr: addr, Bytes: 1, Value: v})
 		return nil
 	}
 	if d.powerLossPending() {
 		// The pulse was cut short: some target bits cleared, the
 		// rest did not. Energy/latency for the partial pulse is
 		// still drawn from the supply.
-		d.tearProgram(addr, v)
-		d.stats.Programs++
-		d.stats.Energy += d.spec.ProgramEnergy
-		d.stats.Busy += d.spec.ProgramLatency
+		d.tearProgram(b, addr, v)
+		d.emit(OpEvent{
+			Kind: OpProgram, Bank: b, Addr: addr, Bytes: 1, Value: d.array[addr],
+			Energy: d.spec.ProgramEnergy, Busy: d.spec.ProgramLatency,
+		})
 		return fmt.Errorf("program %#x: %w", addr, ErrPowerLoss)
 	}
 	d.array[addr] = v
-	d.stats.Programs++
-	d.stats.Energy += d.spec.ProgramEnergy
-	d.stats.Busy += d.spec.ProgramLatency
-	if d.trace != nil {
-		d.trace.Entries = append(d.trace.Entries, TraceEntry{Op: TraceProgram, Addr: addr, Value: v})
-	}
+	d.emit(OpEvent{
+		Kind: OpProgram, Bank: b, Addr: addr, Bytes: 1, Value: v,
+		Energy: d.spec.ProgramEnergy, Busy: d.spec.ProgramLatency,
+	})
 	return nil
 }
 
@@ -221,34 +353,43 @@ func (d *Device) ErasePage(p int) error {
 	if err := d.checkPage(p); err != nil {
 		return err
 	}
+	b := d.BankOf(p)
+	bk := &d.banks[b]
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	return d.erasePageLocked(b, p)
+}
+
+// erasePageLocked is ErasePage with bank b's lock held.
+func (d *Device) erasePageLocked(b, p int) error {
 	base := d.PageBase(p)
 	if d.powerLossPending() {
-		d.tearErase(p)
+		d.tearErase(b, p)
 		d.wear[p]++ // the tunnel-oxide stress happened regardless
-		d.stats.Erases++
-		d.stats.Energy += d.spec.EraseEnergy
-		d.stats.Busy += d.spec.EraseLatency
+		d.emit(OpEvent{
+			Kind: OpErase, Bank: b, Addr: p, Bytes: d.spec.PageSize,
+			Energy: d.spec.EraseEnergy, Busy: d.spec.EraseLatency,
+		})
 		return fmt.Errorf("erase page %d: %w", p, ErrPowerLoss)
 	}
 	for i := 0; i < d.spec.PageSize; i++ {
 		d.array[base+i] = 0xFF
 	}
 	d.wear[p]++
-	d.stats.Erases++
-	d.stats.Energy += d.spec.EraseEnergy
-	d.stats.Busy += d.spec.EraseLatency
-	if d.trace != nil {
-		d.trace.Entries = append(d.trace.Entries, TraceEntry{Op: TraceErase, Addr: p})
-	}
+	d.emit(OpEvent{
+		Kind: OpErase, Bank: b, Addr: p, Bytes: d.spec.PageSize,
+		Energy: d.spec.EraseEnergy, Busy: d.spec.EraseLatency,
+	})
 	if d.wear[p] > d.spec.EnduranceCycles {
 		d.dead[p] = true
 		// Stuck-at-zero failure model: roughly one cell per byte per
 		// thousand cycles past the limit fails to erase.
 		over := d.wear[p] - d.spec.EnduranceCycles
 		stuck := 1 + int(over/1000)
+		rng := d.banks[b].rng
 		for i := 0; i < stuck; i++ {
-			off := d.rng.Intn(d.spec.PageSize)
-			bit := d.rng.Intn(8)
+			off := rng.Intn(d.spec.PageSize)
+			bit := rng.Intn(8)
 			d.array[base+off] &^= 1 << uint(bit)
 		}
 		return fmt.Errorf("page %d: %w (wear %d > %d)", p, ErrWornOut, d.wear[p], d.spec.EnduranceCycles)
@@ -261,6 +402,9 @@ func (d *Device) Wear(p int) uint32 {
 	if p < 0 || p >= len(d.wear) {
 		return 0
 	}
+	bk := &d.banks[d.BankOf(p)]
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
 	return d.wear[p]
 }
 
@@ -268,8 +412,8 @@ func (d *Device) Wear(p int) uint32 {
 // ends when the hottest page wears out.
 func (d *Device) MaxWear() uint32 {
 	var m uint32
-	for _, w := range d.wear {
-		if w > m {
+	for p := range d.wear {
+		if w := d.Wear(p); w > m {
 			m = w
 		}
 	}
@@ -278,35 +422,38 @@ func (d *Device) MaxWear() uint32 {
 
 // WornOut reports whether page p has exceeded its endurance.
 func (d *Device) WornOut(p int) bool {
-	return p >= 0 && p < len(d.dead) && d.dead[p]
+	if p < 0 || p >= len(d.dead) {
+		return false
+	}
+	bk := &d.banks[d.BankOf(p)]
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	return d.dead[p]
 }
 
-// Buffer returns write buffer b for direct manipulation by the controller.
-// Buffer contents are SRAM: accessing them costs nothing in this model (the
-// controller charges CPU energy separately for buffer fills).
-func (d *Device) Buffer(b int) []byte {
-	return d.bufs[b]
-}
-
-// LoadBuffer reads page p into buffer b, charging a page's worth of reads.
-// This is step 1 of the read-modify-write operation (§II-A).
-func (d *Device) LoadBuffer(b, p int) error {
+// ProgramPage programs page p from buf (exactly one page long) without
+// erasing. Every byte must be reachable through 1 → 0 transitions only;
+// otherwise the operation fails with ErrNeedsErase before touching the
+// array. Bytes that already hold the buffered value are skipped. The whole
+// page commits under one bank lock acquisition, so a concurrent operation
+// on the same bank never observes a half-programmed page.
+func (d *Device) ProgramPage(p int, buf []byte) error {
 	if err := d.checkPage(p); err != nil {
 		return err
 	}
-	return d.Read(d.PageBase(p), d.bufs[b])
+	if len(buf) != d.spec.PageSize {
+		return fmt.Errorf("%w: got %d, page size %d", ErrPageSize, len(buf), d.spec.PageSize)
+	}
+	b := d.BankOf(p)
+	bk := &d.banks[b]
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	return d.programPageLocked(b, p, buf)
 }
 
-// ProgramFromBuffer programs page p from buffer b without erasing. Every
-// byte must be reachable through 1 → 0 transitions only; otherwise the
-// operation fails with ErrNeedsErase before touching the array. Bytes that
-// already hold the buffered value are skipped.
-func (d *Device) ProgramFromBuffer(p, b int) error {
-	if err := d.checkPage(p); err != nil {
-		return err
-	}
+// programPageLocked is ProgramPage with bank b's lock held.
+func (d *Device) programPageLocked(b, p int, buf []byte) error {
 	base := d.PageBase(p)
-	buf := d.bufs[b]
 	for i, v := range buf {
 		if !d.spec.Cell.Reachable(d.array[base+i], v) {
 			return fmt.Errorf("%w: page %d byte %d stored %08b want %08b (%v)",
@@ -314,35 +461,47 @@ func (d *Device) ProgramFromBuffer(p, b int) error {
 		}
 	}
 	for i, v := range buf {
-		if err := d.ProgramByte(base+i, v); err != nil {
+		if err := d.programByteLocked(b, base+i, v); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// EraseProgramFromBuffer erases page p and programs it from buffer b — the
-// "read-modify-write" commit path (§II-A steps 2 and 4). A worn-out erase
-// error is returned after the program completes so the data is still
-// best-effort written.
-func (d *Device) EraseProgramFromBuffer(p, b int) error {
-	eraseErr := d.ErasePage(p)
+// EraseProgramPage erases page p and programs it from buf — the
+// "read-modify-write" commit path (§II-A steps 2 and 4), atomic with
+// respect to other operations on the same bank. A worn-out erase error is
+// returned after the program completes so the data is still best-effort
+// written.
+func (d *Device) EraseProgramPage(p int, buf []byte) error {
+	if err := d.checkPage(p); err != nil {
+		return err
+	}
+	if len(buf) != d.spec.PageSize {
+		return fmt.Errorf("%w: got %d, page size %d", ErrPageSize, len(buf), d.spec.PageSize)
+	}
+	b := d.BankOf(p)
+	bk := &d.banks[b]
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	eraseErr := d.erasePageLocked(b, p)
 	if eraseErr != nil && !errors.Is(eraseErr, ErrWornOut) {
 		return eraseErr
 	}
-	if err := d.ProgramFromBuffer(p, b); err != nil {
-		// Only possible on a worn-out page with stuck bits.
+	if err := d.programPageLocked(b, p, buf); err != nil {
+		// Only possible on a worn-out page with stuck bits, or under
+		// a second injected power loss.
 		return errors.Join(eraseErr, err)
 	}
 	return eraseErr
 }
 
 // Peek returns the stored byte without charging a read; for tests and
-// instrumentation only.
+// instrumentation only. Not synchronised: do not race it with writers.
 func (d *Device) Peek(addr int) byte { return d.array[addr] }
 
 // PeekPage copies page p into dst without charging reads; for tests and
-// instrumentation only.
+// instrumentation only. Not synchronised: do not race it with writers.
 func (d *Device) PeekPage(p int, dst []byte) {
 	copy(dst, d.array[d.PageBase(p):d.PageBase(p)+d.spec.PageSize])
 }

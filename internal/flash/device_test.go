@@ -195,10 +195,10 @@ func TestBounds(t *testing.T) {
 	}
 }
 
-func TestBufferRoundTrip(t *testing.T) {
+func TestReadPageRoundTrip(t *testing.T) {
 	d := MustNewDevice(smallSpec())
 	rng := xrand.New(5)
-	// Program a known pattern, load it into buffer 0, verify.
+	// Program a known pattern, read the page back, verify.
 	base := d.PageBase(1)
 	want := make([]byte, d.Spec().PageSize)
 	for i := range want {
@@ -207,45 +207,49 @@ func TestBufferRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := d.LoadBuffer(0, 1); err != nil {
+	buf := make([]byte, d.Spec().PageSize)
+	before := d.Stats()
+	if err := d.ReadPage(1, buf); err != nil {
 		t.Fatal(err)
 	}
-	buf := d.Buffer(0)
 	for i := range want {
 		if buf[i] != want[i] {
 			t.Fatalf("buffer[%d] = %02x, want %02x", i, buf[i], want[i])
 		}
 	}
+	if got := d.Stats().Reads - before.Reads; got != uint64(d.Spec().PageSize) {
+		t.Errorf("ReadPage charged %d reads, want %d", got, d.Spec().PageSize)
+	}
+	if err := d.ReadPage(1, buf[:1]); !errors.Is(err, ErrPageSize) {
+		t.Errorf("short buffer accepted: %v", err)
+	}
 }
 
-func TestProgramFromBufferRejects0to1(t *testing.T) {
+func TestProgramPageRejects0to1(t *testing.T) {
 	d := MustNewDevice(smallSpec())
 	base := d.PageBase(0)
 	if err := d.ProgramByte(base, 0x00); err != nil {
 		t.Fatal(err)
 	}
-	buf := d.Buffer(0)
-	for i := range buf {
-		buf[i] = 0x00
-	}
+	buf := make([]byte, d.Spec().PageSize)
 	buf[0] = 0x01 // would need a 0→1 flip
 	before := d.Stats()
-	err := d.ProgramFromBuffer(0, 0)
+	err := d.ProgramPage(0, buf)
 	if !errors.Is(err, ErrNeedsErase) {
 		t.Fatalf("want ErrNeedsErase, got %v", err)
 	}
 	if d.Stats().Programs != before.Programs {
-		t.Error("failed buffer program must charge nothing")
+		t.Error("failed page program must charge nothing")
 	}
 }
 
-func TestProgramFromBufferSkipsUnchanged(t *testing.T) {
+func TestProgramPageSkipsUnchanged(t *testing.T) {
 	d := MustNewDevice(smallSpec())
-	buf := d.Buffer(0)
+	buf := make([]byte, d.Spec().PageSize)
 	for i := range buf {
 		buf[i] = 0xFF // page is already all-ones
 	}
-	if err := d.ProgramFromBuffer(0, 0); err != nil {
+	if err := d.ProgramPage(0, buf); err != nil {
 		t.Fatal(err)
 	}
 	st := d.Stats()
@@ -257,7 +261,7 @@ func TestProgramFromBufferSkipsUnchanged(t *testing.T) {
 	}
 }
 
-func TestEraseProgramFromBuffer(t *testing.T) {
+func TestEraseProgramPage(t *testing.T) {
 	d := MustNewDevice(smallSpec())
 	base := d.PageBase(3)
 	for i := 0; i < d.Spec().PageSize; i++ {
@@ -265,11 +269,11 @@ func TestEraseProgramFromBuffer(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	buf := d.Buffer(1)
+	buf := make([]byte, d.Spec().PageSize)
 	for i := range buf {
 		buf[i] = byte(i) | 0x80 // needs 0→1 flips, hence the erase
 	}
-	if err := d.EraseProgramFromBuffer(3, 1); err != nil {
+	if err := d.EraseProgramPage(3, buf); err != nil {
 		t.Fatal(err)
 	}
 	for i := range buf {
@@ -279,6 +283,147 @@ func TestEraseProgramFromBuffer(t *testing.T) {
 	}
 	if d.Wear(3) != 1 {
 		t.Errorf("wear = %d", d.Wear(3))
+	}
+}
+
+func TestBankPartition(t *testing.T) {
+	s := smallSpec() // 8 pages, DefaultSpec banks = 4
+	d := MustNewDevice(s)
+	if d.Banks() != 4 {
+		t.Fatalf("banks = %d, want 4", d.Banks())
+	}
+	// Round-robin interleave: consecutive pages land in distinct banks.
+	for p := 0; p < s.NumPages; p++ {
+		if d.BankOf(p) != p%4 {
+			t.Errorf("BankOf(%d) = %d, want %d", p, d.BankOf(p), p%4)
+		}
+	}
+	// Banks == 0 selects the default; Banks > NumPages clamps.
+	s.Banks = 0
+	if got := MustNewDevice(s).Banks(); got != DefaultBanks {
+		t.Errorf("Banks=0 → %d, want %d", got, DefaultBanks)
+	}
+	s.Banks = 100
+	if got := MustNewDevice(s).Banks(); got != s.NumPages {
+		t.Errorf("Banks=100 → %d, want %d (clamped)", got, s.NumPages)
+	}
+	s.Banks = -1
+	if _, err := NewDevice(s); err == nil {
+		t.Error("negative bank count accepted")
+	}
+}
+
+func TestBankStatsShardAndMerge(t *testing.T) {
+	d := MustNewDevice(smallSpec())        // 8 pages over 4 banks
+	_ = d.ErasePage(0)                     // bank 0
+	_ = d.ErasePage(4)                     // bank 0
+	_ = d.ErasePage(1)                     // bank 1
+	_ = d.ProgramByte(d.PageBase(2), 0x00) // bank 2
+	if got := d.BankStats(0).Erases; got != 2 {
+		t.Errorf("bank 0 erases = %d, want 2", got)
+	}
+	if got := d.BankStats(1).Erases; got != 1 {
+		t.Errorf("bank 1 erases = %d, want 1", got)
+	}
+	if got := d.BankStats(2).Programs; got != 1 {
+		t.Errorf("bank 2 programs = %d, want 1", got)
+	}
+	st := d.Stats()
+	if st.Erases != 3 || st.Programs != 1 {
+		t.Errorf("merged stats = %+v", st)
+	}
+}
+
+func TestObserverSeesEveryOp(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	var events []OpEvent
+	obs := ObserverFunc(func(ev OpEvent) { events = append(events, ev) })
+	d.Attach(obs)
+	_, _ = d.ReadByteAt(0)
+	_ = d.ProgramByte(0, 0x0F)
+	_ = d.ProgramByte(0, 0x0F) // skipped
+	_ = d.ErasePage(0)
+	want := []OpKind{OpRead, OpProgram, OpProgramSkip, OpErase}
+	if len(events) != len(want) {
+		t.Fatalf("saw %d events, want %d", len(events), len(want))
+	}
+	for i, k := range want {
+		if events[i].Kind != k {
+			t.Errorf("event %d kind = %v, want %v", i, events[i].Kind, k)
+		}
+	}
+	if events[3].Addr != 0 || events[3].Bank != 0 {
+		t.Errorf("erase event = %+v", events[3])
+	}
+	d.Detach(obs)
+	_ = d.ProgramByte(1, 0x00)
+	if len(events) != len(want) {
+		t.Error("detached observer still received events")
+	}
+}
+
+// TestObserverStatsAgree: the observer event stream carries exactly the
+// costs the stats shards accumulate — one accounting path, two views.
+func TestObserverStatsAgree(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	// Accumulate per bank and merge in bank order, mirroring the stats
+	// shards — float totals are then byte-identical, not just close.
+	perBank := make([]energy.Energy, d.Banks())
+	var reads, programs uint64
+	d.Attach(ObserverFunc(func(ev OpEvent) {
+		perBank[ev.Bank] += ev.Energy
+		switch ev.Kind {
+		case OpRead:
+			reads += uint64(ev.Bytes)
+		case OpProgram:
+			programs++
+		}
+	}))
+	rng := xrand.New(77)
+	for i := 0; i < 200; i++ {
+		addr := rng.Intn(d.Spec().Size())
+		switch rng.Intn(3) {
+		case 0:
+			_, _ = d.ReadByteAt(addr)
+		case 1:
+			_ = d.ProgramByte(addr, d.Peek(addr)&rng.Byte())
+		case 2:
+			_ = d.ErasePage(rng.Intn(d.Spec().NumPages))
+		}
+	}
+	st := d.Stats()
+	if st.Reads != reads || st.Programs != programs {
+		t.Errorf("observer counted reads=%d programs=%d, stats %+v", reads, programs, st)
+	}
+	var total energy.Energy
+	for _, e := range perBank {
+		total += e
+	}
+	if st.Energy != total {
+		t.Errorf("observer energy %v != stats energy %v", total, st.Energy)
+	}
+}
+
+func TestLedgerObserver(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	var led energy.Ledger
+	d.Attach(NewLedgerObserver(&led))
+	_ = d.ProgramByte(0, 0x00)
+	_ = d.ErasePage(1)
+	_, _ = d.ReadByteAt(2)
+	st := d.Stats()
+	if led.Total() != st.Energy {
+		t.Errorf("ledger total %v != stats energy %v", led.Total(), st.Energy)
+	}
+	if led.Busy() != st.Busy {
+		t.Errorf("ledger busy %v != stats busy %v", led.Busy(), st.Busy)
+	}
+	byOp := led.ByOp()
+	if byOp["erase"] != d.Spec().EraseEnergy {
+		t.Errorf("erase energy = %v, want %v", byOp["erase"], d.Spec().EraseEnergy)
+	}
+	if byOp["program"] != d.Spec().ProgramEnergy {
+		t.Errorf("program energy = %v", byOp["program"])
 	}
 }
 

@@ -1,0 +1,142 @@
+package flash
+
+import (
+	"reflect"
+	"time"
+
+	"github.com/flipbit-sim/flipbit/internal/energy"
+)
+
+// OpKind is the kind of a completed flash operation.
+type OpKind uint8
+
+// Operation kinds carried by OpEvent.
+const (
+	OpRead        OpKind = iota // array read (Bytes consecutive bytes)
+	OpProgram                   // one byte programmed
+	OpProgramSkip               // one byte program elided (value unchanged)
+	OpErase                     // one page erased
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpProgram:
+		return "program"
+	case OpProgramSkip:
+		return "program-skip"
+	case OpErase:
+		return "erase"
+	}
+	return "unknown"
+}
+
+// OpEvent describes one completed flash operation. It is the single source
+// of truth for all instrumentation: the device's own per-bank statistics,
+// the operation trace, and the energy ledger are all derived from the same
+// event stream instead of duplicating accounting at every operation site.
+type OpEvent struct {
+	Kind OpKind
+	Bank int // bank the operation executed in
+
+	// Addr is the byte address for reads and programs, and the page
+	// number for erases.
+	Addr int
+
+	// Bytes is the number of bytes the operation covered: the read
+	// length for OpRead, 1 for programs, and the page size for erases.
+	Bytes int
+
+	// Value is the programmed value (OpProgram only).
+	Value byte
+
+	// Energy and Busy are the cost charged for the operation.
+	Energy energy.Energy
+	Busy   time.Duration
+}
+
+// Observer receives every operation event a device emits. Events for one
+// bank are delivered in order, under that bank's lock; events for different
+// banks may be delivered concurrently, so an Observer attached to a device
+// that is used from multiple goroutines must itself be safe for concurrent
+// use (Trace and energy.Ledger both are).
+type Observer interface {
+	OnOp(OpEvent)
+}
+
+// ObserverFunc adapts a function to the Observer interface. The function
+// must be safe for concurrent use if the device is driven concurrently.
+type ObserverFunc func(OpEvent)
+
+// OnOp implements Observer.
+func (f ObserverFunc) OnOp(e OpEvent) { f(e) }
+
+// Attach subscribes o to the device's operation events. Attach must not be
+// called concurrently with device operations (configure observers before
+// starting traffic, like the trace).
+func (d *Device) Attach(o Observer) {
+	if o != nil {
+		d.obs = append(d.obs, o)
+	}
+}
+
+// Detach removes a previously attached observer.
+func (d *Device) Detach(o Observer) {
+	for i, cur := range d.obs {
+		if sameObserver(cur, o) {
+			d.obs = append(d.obs[:i], d.obs[i+1:]...)
+			return
+		}
+	}
+}
+
+// sameObserver reports whether two observers are the same subscription.
+// Comparable observers (pointers, structs of pointers) compare directly;
+// func-typed observers compare by code pointer, which is the best identity
+// a func value has.
+func sameObserver(a, b Observer) bool {
+	ta, tb := reflect.TypeOf(a), reflect.TypeOf(b)
+	if ta != tb {
+		return false
+	}
+	if ta.Comparable() {
+		return a == b
+	}
+	if ta.Kind() == reflect.Func {
+		return reflect.ValueOf(a).Pointer() == reflect.ValueOf(b).Pointer()
+	}
+	return false
+}
+
+// apply folds one event into the stats shard. This is the only place
+// operation counters are updated.
+func (s *Stats) apply(ev OpEvent) {
+	switch ev.Kind {
+	case OpRead:
+		s.Reads += uint64(ev.Bytes)
+	case OpProgram:
+		s.Programs++
+	case OpProgramSkip:
+		s.ProgramsSkipped++
+	case OpErase:
+		s.Erases++
+	}
+	s.Energy += ev.Energy
+	s.Busy += ev.Busy
+}
+
+// ledgerObserver forwards event costs to an energy.Ledger.
+type ledgerObserver struct {
+	l *energy.Ledger
+}
+
+func (o ledgerObserver) OnOp(ev OpEvent) {
+	o.l.Record(ev.Kind.String(), ev.Energy, ev.Busy)
+}
+
+// NewLedgerObserver returns an Observer that records every operation's
+// energy and busy time into l, keyed by operation kind. The ledger is safe
+// for concurrent use, so the observer may be attached to a device driven
+// from multiple goroutines.
+func NewLedgerObserver(l *energy.Ledger) Observer { return ledgerObserver{l} }

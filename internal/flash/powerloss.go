@@ -15,8 +15,13 @@ var ErrPowerLoss = errors.New("flash: power lost mid-operation")
 // InjectPowerLoss arms a one-shot fault: after skip more successful
 // state-changing operations (programs or erases), the next one is
 // interrupted partway and returns ErrPowerLoss. The device remains usable
-// afterwards, modelling a reboot.
+// afterwards, modelling a reboot. The arm state is shared across banks and
+// guarded separately, so it stays coherent under concurrent traffic (which
+// of the racing operations trips the fault is then scheduling-dependent,
+// like a real brown-out).
 func (d *Device) InjectPowerLoss(skip int) {
+	d.plMu.Lock()
+	defer d.plMu.Unlock()
 	d.plArmed = true
 	d.plSkip = skip
 }
@@ -24,6 +29,8 @@ func (d *Device) InjectPowerLoss(skip int) {
 // powerLossPending decrements the arm counter and reports whether the
 // current operation should be interrupted.
 func (d *Device) powerLossPending() bool {
+	d.plMu.Lock()
+	defer d.plMu.Unlock()
 	if !d.plArmed {
 		return false
 	}
@@ -36,20 +43,22 @@ func (d *Device) powerLossPending() bool {
 }
 
 // tearProgram applies a partial program: each bit the full program would
-// have cleared clears with probability ~1/2.
-func (d *Device) tearProgram(addr int, v byte) {
+// have cleared clears with probability ~1/2. Called with bank b's lock held.
+func (d *Device) tearProgram(b, addr int, v byte) {
 	cur := d.array[addr]
 	toClear := cur &^ v
-	partial := toClear & d.rng.Byte()
+	partial := toClear & d.banks[b].rng.Byte()
 	d.array[addr] = cur &^ partial
 }
 
 // tearErase applies a partial erase: each byte of the page independently
-// either reaches the erased state or keeps its old value.
-func (d *Device) tearErase(p int) {
+// either reaches the erased state or keeps its old value. Called with bank
+// b's lock held.
+func (d *Device) tearErase(b, p int) {
 	base := d.PageBase(p)
+	rng := d.banks[b].rng
 	for i := 0; i < d.spec.PageSize; i++ {
-		if d.rng.Intn(2) == 0 {
+		if rng.Intn(2) == 0 {
 			d.array[base+i] = 0xFF
 		}
 	}

@@ -52,6 +52,11 @@ func (m CellMode) Reachable(from, to byte) bool {
 	return true
 }
 
+// DefaultBanks is the bank count used when a Spec leaves Banks zero.
+// Commercial parts commonly expose two to four independently operable
+// banks/planes; four is the sweet spot for the parallel commit path.
+const DefaultBanks = 4
+
 // Spec describes a flash part: geometry, datasheet timing/energy and
 // endurance. The zero value is not usable; start from DefaultSpec.
 type Spec struct {
@@ -63,6 +68,11 @@ type Spec struct {
 	// Geometry.
 	PageSize int // bytes per page (erase granularity)
 	NumPages int
+
+	// Banks is the number of independently lockable banks; pages are
+	// interleaved across banks round-robin (page p → bank p % Banks).
+	// Zero selects DefaultBanks; the device clamps Banks to NumPages.
+	Banks int
 
 	// Latency per operation (Table I of the paper).
 	ReadLatency    time.Duration // one byte
@@ -94,6 +104,7 @@ func DefaultSpec() Spec {
 		Name:            "embedded-nor-256B",
 		PageSize:        256,
 		NumPages:        4096, // 1 MiB array, matching the approx region of Listing 2
+		Banks:           DefaultBanks,
 		ReadLatency:     30*time.Nanosecond + 300*time.Nanosecond/1000,
 		ProgramLatency:  30 * time.Microsecond,
 		EraseLatency:    10200 * time.Microsecond,
@@ -111,6 +122,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("flash: page size must be positive, got %d", s.PageSize)
 	case s.NumPages <= 0:
 		return fmt.Errorf("flash: page count must be positive, got %d", s.NumPages)
+	case s.Banks < 0:
+		return fmt.Errorf("flash: bank count must not be negative, got %d", s.Banks)
 	case s.ReadLatency <= 0 || s.ProgramLatency <= 0 || s.EraseLatency <= 0:
 		return fmt.Errorf("flash: operation latencies must be positive")
 	case s.ReadEnergy <= 0 || s.ProgramEnergy <= 0 || s.EraseEnergy <= 0:

@@ -3,6 +3,7 @@ package flash
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // TraceOp is the kind of a traced flash operation.
@@ -30,23 +31,131 @@ type TraceEntry struct {
 	Value byte // programmed value (programs only)
 }
 
+// DefaultTraceLimit caps a Trace that was not given an explicit limit.
+// 1 Mi entries ≈ 16 MiB — deep enough for every experiment in the suite,
+// bounded enough that a tracing video/ML run cannot exhaust memory.
+const DefaultTraceLimit = 1 << 20
+
 // Trace records the state-changing operations of a device so a run can be
-// replayed, diffed or analyzed offline. Attach with Device.SetTracer.
+// replayed, diffed or analyzed offline. Attach with Device.SetTracer (it is
+// an Observer, so Device.Attach works too).
+//
+// The trace is a capped ring buffer: once Limit entries are held, each new
+// entry evicts the oldest and increments the dropped counter, so tracing a
+// long workload consumes bounded memory. The zero value is ready to use
+// with DefaultTraceLimit; use NewTrace for an explicit cap. Trace is safe
+// for concurrent use.
 type Trace struct {
-	Entries []TraceEntry
+	mu      sync.Mutex
+	limit   int
+	ring    []TraceEntry
+	start   int // index of the oldest entry
+	count   int
+	dropped uint64
+}
+
+// NewTrace returns a trace holding at most limit entries; limit <= 0
+// selects DefaultTraceLimit.
+func NewTrace(limit int) *Trace {
+	if limit <= 0 {
+		limit = DefaultTraceLimit
+	}
+	return &Trace{limit: limit}
+}
+
+// Limit returns the maximum number of entries the trace retains.
+func (t *Trace) Limit() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.effectiveLimit()
+}
+
+func (t *Trace) effectiveLimit() int {
+	if t.limit <= 0 {
+		return DefaultTraceLimit
+	}
+	return t.limit
+}
+
+// Append records one entry, evicting the oldest if the trace is full.
+func (t *Trace) Append(e TraceEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	limit := t.effectiveLimit()
+	if t.count < limit {
+		if t.count == len(t.ring) {
+			// Grow geometrically up to the cap rather than
+			// allocating the full ring up front.
+			t.ring = append(t.ring, e)
+			t.count++
+			return
+		}
+		t.ring[(t.start+t.count)%len(t.ring)] = e
+		t.count++
+		return
+	}
+	// Full: overwrite the oldest.
+	t.ring[t.start] = e
+	t.start = (t.start + 1) % len(t.ring)
+	t.dropped++
+}
+
+// OnOp implements Observer: programs and erases are recorded, reads and
+// skipped programs are not.
+func (t *Trace) OnOp(ev OpEvent) {
+	switch ev.Kind {
+	case OpProgram:
+		t.Append(TraceEntry{Op: TraceProgram, Addr: ev.Addr, Value: ev.Value})
+	case OpErase:
+		t.Append(TraceEntry{Op: TraceErase, Addr: ev.Addr})
+	}
+}
+
+// Len returns the number of retained entries.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Dropped returns how many entries were evicted because the trace was full.
+func (t *Trace) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Entries returns the retained entries, oldest first.
+func (t *Trace) Entries() []TraceEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEntry, t.count)
+	for i := 0; i < t.count; i++ {
+		out[i] = t.ring[(t.start+i)%len(t.ring)]
+	}
+	return out
+}
+
+// Reset discards all entries and the dropped counter, keeping the limit.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.start, t.count, t.dropped = 0, 0, 0
 }
 
 // ErrReplayMismatch is returned when a replayed trace cannot be applied.
 var ErrReplayMismatch = errors.New("flash: trace replay failed")
 
 // Replay applies the trace to a fresh device of the given spec and returns
-// it. Replaying onto a device with different geometry fails.
+// it. Replaying onto a device with different geometry fails. A trace that
+// dropped entries replays only the retained suffix, which generally cannot
+// reproduce the original state — check Dropped first.
 func (t *Trace) Replay(spec Spec) (*Device, error) {
 	d, err := NewDevice(spec)
 	if err != nil {
 		return nil, err
 	}
-	for i, e := range t.Entries {
+	for i, e := range t.Entries() {
 		switch e.Op {
 		case TraceProgram:
 			err = d.ProgramByte(e.Addr, e.Value)
@@ -66,7 +175,7 @@ func (t *Trace) Replay(spec Spec) (*Device, error) {
 // wear heat map a lifetime analysis starts from.
 func (t *Trace) EraseHeat(numPages int) []int {
 	heat := make([]int, numPages)
-	for _, e := range t.Entries {
+	for _, e := range t.Entries() {
 		if e.Op == TraceErase && e.Addr >= 0 && e.Addr < numPages {
 			heat[e.Addr]++
 		}
@@ -77,7 +186,7 @@ func (t *Trace) EraseHeat(numPages int) []int {
 // ProgramBytes returns the number of programmed bytes in the trace.
 func (t *Trace) ProgramBytes() int {
 	n := 0
-	for _, e := range t.Entries {
+	for _, e := range t.Entries() {
 		if e.Op == TraceProgram {
 			n++
 		}
@@ -86,5 +195,6 @@ func (t *Trace) ProgramBytes() int {
 }
 
 // SetTracer attaches (or detaches, with nil) an operation trace to the
-// device. Tracing records programs and erases only.
+// device. Tracing records programs and erases only. SetTracer must not be
+// called concurrently with device operations.
 func (d *Device) SetTracer(t *Trace) { d.trace = t }

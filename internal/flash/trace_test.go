@@ -71,8 +71,72 @@ func TestTraceDetach(t *testing.T) {
 	_ = d.ProgramByte(0, 0)
 	d.SetTracer(nil)
 	_ = d.ProgramByte(1, 0)
-	if len(tr.Entries) != 1 {
-		t.Errorf("entries after detach = %d, want 1", len(tr.Entries))
+	if tr.Len() != 1 {
+		t.Errorf("entries after detach = %d, want 1", tr.Len())
+	}
+}
+
+// TestTraceRingBufferCaps: a trace with a small limit retains the most
+// recent entries and counts the evicted ones.
+func TestTraceRingBufferCaps(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	tr := NewTrace(4)
+	d.SetTracer(tr)
+	for i := 0; i < 10; i++ {
+		_ = d.ProgramByte(i, byte(i)) // distinct values, all reachable
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", tr.Dropped())
+	}
+	got := tr.Entries()
+	for i, e := range got {
+		wantAddr := 6 + i // oldest retained entry is op #6
+		if e.Addr != wantAddr || e.Value != byte(wantAddr) {
+			t.Errorf("entry %d = %+v, want addr %d", i, e, wantAddr)
+		}
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Error("Reset incomplete")
+	}
+	if tr.Limit() != 4 {
+		t.Errorf("limit after reset = %d, want 4", tr.Limit())
+	}
+}
+
+func TestTraceZeroValueUsesDefaultLimit(t *testing.T) {
+	var tr Trace
+	if tr.Limit() != DefaultTraceLimit {
+		t.Errorf("zero-value limit = %d, want %d", tr.Limit(), DefaultTraceLimit)
+	}
+	tr.Append(TraceEntry{Op: TraceProgram, Addr: 1})
+	if tr.Len() != 1 || tr.Dropped() != 0 {
+		t.Error("zero-value trace did not record")
+	}
+}
+
+// TestTraceAsObserver: a Trace attached through the generic observer bus
+// records the same operations as SetTracer.
+func TestTraceAsObserver(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	tr := NewTrace(0)
+	d.Attach(tr)
+	_ = d.ProgramByte(0, 0x3C)
+	_ = d.ProgramByte(0, 0x3C) // skipped: not traced
+	_ = d.ErasePage(2)
+	_, _ = d.ReadByteAt(0) // reads are not traced
+	got := tr.Entries()
+	if len(got) != 2 {
+		t.Fatalf("entries = %d, want 2", len(got))
+	}
+	if got[0].Op != TraceProgram || got[0].Value != 0x3C {
+		t.Errorf("entry 0 = %+v", got[0])
+	}
+	if got[1].Op != TraceErase || got[1].Addr != 2 {
+		t.Errorf("entry 1 = %+v", got[1])
 	}
 }
 
