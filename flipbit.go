@@ -169,6 +169,46 @@ func NewFloat32Encoder(m int, inner Encoder) (Encoder, error) {
 	return approx.NewFloat32(m, inner)
 }
 
+// Fault is one scheduled flash failure: power loss tearing the victim
+// program or erase, cells left stuck at 0 by an erase, or read-disturb
+// drift. Arm one with Device.Flash().ArmFault or a schedule via
+// WithFaultSchedule.
+type Fault = flash.Fault
+
+// FaultKind discriminates Fault records.
+type FaultKind = flash.FaultKind
+
+// Fault kinds for Fault.Kind.
+const (
+	FaultNone        = flash.FaultNone
+	FaultPowerLoss   = flash.FaultPowerLoss
+	FaultStuckBits   = flash.FaultStuckBits
+	FaultReadDisturb = flash.FaultReadDisturb
+)
+
+// FaultSchedule supplies faults to re-arm the device after each firing;
+// implementations must be deterministic so campaigns replay from a seed.
+type FaultSchedule = flash.FaultSchedule
+
+// FaultMix parameterises NewRandomFaultSchedule: relative weights per fault
+// kind and the ranges gaps and bit counts are drawn from.
+type FaultMix = flash.FaultMix
+
+// ErrPowerLoss is reported by an operation interrupted by an injected
+// power-loss fault; the flash array is left in the torn state the real
+// event would leave.
+var ErrPowerLoss = flash.ErrPowerLoss
+
+// NewRandomFaultSchedule returns the endless deterministic fault stream for
+// (seed, mix) — the same seed always produces the same schedule.
+func NewRandomFaultSchedule(seed uint64, mix FaultMix) FaultSchedule {
+	return flash.NewRandomSchedule(seed, mix)
+}
+
+// WithFaultSchedule installs a deterministic fault schedule on the device at
+// construction, before any operation can escape it.
+func WithFaultSchedule(s FaultSchedule) Option { return core.WithFaultSchedule(s) }
+
 // CellMode selects SLC (default) or MLC programming semantics on a Spec.
 type CellMode = flash.CellMode
 

@@ -1,0 +1,98 @@
+package approx
+
+import (
+	"hash/crc32"
+	"testing"
+)
+
+// Golden vectors pinning the derived minimax truth tables for every window
+// size the hardware supports. The tables are device-visible state: an NBit
+// encoder's output is a pure function of its table, so a regeneration bug
+// in DeriveTable would silently change every approximate value written to
+// flash. Any intentional change to the derivation must update these
+// constants — and justify why stored data written by the old tables is
+// still readable as intended.
+//
+// Fingerprint: the overshoot column packed LSB-first into bytes, CRC32
+// (IEEE). Entries and ones pin the table geometry and decision count.
+var goldenTables = []struct {
+	n       int
+	entries int
+	ones    int
+	crc     uint32
+}{
+	{1, 1, 0, 0xD202EF8D},
+	{2, 4, 1, 0xD56F2B94},
+	{3, 16, 4, 0x66DB5355},
+	{4, 64, 16, 0xD531CCBA},
+	{5, 256, 64, 0xE758CB89},
+	{6, 1024, 256, 0x98A97A56},
+	{7, 4096, 1024, 0x54718636},
+	{8, 16384, 4096, 0x47A5F2BF},
+}
+
+func TestTableGoldenVectors(t *testing.T) {
+	for _, g := range goldenTables {
+		tab := DeriveTable(g.n)
+		if len(tab.overshoot) != g.entries {
+			t.Errorf("n=%d: %d entries, golden has %d", g.n, len(tab.overshoot), g.entries)
+			continue
+		}
+		packed := make([]byte, (len(tab.overshoot)+7)/8)
+		ones := 0
+		for i, v := range tab.overshoot {
+			if v {
+				packed[i/8] |= 1 << uint(i%8)
+				ones++
+			}
+		}
+		if ones != g.ones {
+			t.Errorf("n=%d: %d overshoot entries, golden has %d", g.n, ones, g.ones)
+		}
+		if crc := crc32.ChecksumIEEE(packed); crc != g.crc {
+			t.Errorf("n=%d: table fingerprint %08X, golden is %08X — the derivation changed device-visible output", g.n, crc, g.crc)
+		}
+	}
+}
+
+// TestTableGoldenSpotVectors pins individual decisions in human-readable
+// form so a fingerprint mismatch has a diagnosable counterpart. The n=2
+// entries are the paper's Table II.
+func TestTableGoldenSpotVectors(t *testing.T) {
+	cases := []struct {
+		n          int
+		eLow, pLow uint32
+		overshoot  bool
+	}{
+		// n=2 (Table II rows 3–6): overshoot only when the lookahead
+		// exact bit is wanted but not settable.
+		{2, 0, 0, false},
+		{2, 0, 1, false},
+		{2, 1, 0, true},
+		{2, 1, 1, false},
+		// n=3: overshoot exactly when more than half the remaining range
+		// is unrecoverable below.
+		{3, 0b11, 0b00, true},
+		{3, 0b11, 0b01, true},
+		{3, 0b11, 0b11, false},
+		{3, 0b10, 0b00, true},
+		{3, 0b10, 0b01, false}, // greedy recovers 0b01; tight worst case ties, ties stay tight
+		{3, 0b10, 0b10, false},
+		{3, 0b01, 0b00, false},
+		{3, 0b00, 0b00, false},
+		// n=8: the extreme corners.
+		{8, 0x7F, 0x00, true},
+		{8, 0x7F, 0x7F, false},
+		{8, 0x00, 0x00, false},
+		{8, 0x40, 0x00, true},
+		{8, 0x40, 0x3F, false}, // greedy recovers 0x3F below; no need to overshoot
+	}
+	for _, c := range cases {
+		tab := DeriveTable(c.n)
+		m := c.n - 1
+		got := tab.overshoot[c.eLow<<uint(m)|c.pLow]
+		if got != c.overshoot {
+			t.Errorf("n=%d eLow=%#b pLow=%#b: overshoot=%v, golden says %v", c.n, c.eLow, c.pLow, got, c.overshoot)
+		}
+	}
+}

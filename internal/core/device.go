@@ -107,6 +107,7 @@ type Device struct {
 	// Construction-time option state.
 	banksOverride int
 	observers     []flash.Observer
+	faultSched    flash.FaultSchedule
 }
 
 // commitBuffers is the SRAM triple one page commit works on: the page's
@@ -143,6 +144,14 @@ func WithObserver(o flash.Observer) Option {
 	return func(d *Device) { d.observers = append(d.observers, o) }
 }
 
+// WithFaultSchedule installs a fault schedule on the underlying flash
+// device at construction, so faults are armed before the first operation.
+// The schedule's first fault is armed immediately; use
+// Flash().SetFaultSchedule to change it later.
+func WithFaultSchedule(s flash.FaultSchedule) Option {
+	return func(d *Device) { d.faultSched = s }
+}
+
 // NewDevice builds a FlipBit device over a fresh flash array described by
 // spec. The controller starts with approximation disabled (empty region),
 // width 8 and threshold 0.
@@ -164,6 +173,9 @@ func NewDevice(spec flash.Spec, opts ...Option) (*Device, error) {
 	d.fl = fl
 	for _, o := range d.observers {
 		fl.Attach(o)
+	}
+	if d.faultSched != nil {
+		fl.SetFaultSchedule(d.faultSched)
 	}
 	nb := fl.Banks()
 	d.commitMu = make([]sync.Mutex, nb)

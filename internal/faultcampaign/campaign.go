@@ -1,0 +1,465 @@
+// Package faultcampaign drives thousands of simulated crash/reboot cycles
+// against the full stack — flash → core → ftl → kvs — and checks recovery
+// invariants after every one. Each cycle arms a fault drawn from a seeded
+// stream (power loss tearing a program or erase, stuck-at-0 cells, read
+// disturb), runs a seeded key-value workload mirrored in a RAM model,
+// reboots on crash and verifies that every acknowledged write survived
+// exactly: a key holds its acked value, or — for the single operation that
+// was in flight when power died — either the old or the new value, never a
+// torn in-between. Everything derives from Config.Seed, so a failing
+// campaign replays byte-identically (Result.Fingerprint pins the whole
+// fault schedule and stats stream).
+package faultcampaign
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/flipbit-sim/flipbit/internal/core"
+	"github.com/flipbit-sim/flipbit/internal/energy"
+	"github.com/flipbit-sim/flipbit/internal/flash"
+	"github.com/flipbit-sim/flipbit/internal/ftl"
+	"github.com/flipbit-sim/flipbit/internal/kvs"
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+// Config parameterises one campaign. The zero value of every field has a
+// usable default.
+type Config struct {
+	Seed   uint64
+	Cycles int // crash/reboot cycles to run (default 1000)
+
+	// Spec is the flash geometry (default: 24 pages × 128 B, 1 bank — a
+	// small device so faults hit live data often).
+	Spec flash.Spec
+
+	// Mix weights the fault kinds and their gaps (default: power loss
+	// heavy with occasional wear faults). Read-disturb faults are always
+	// narrowed to a single bit: that is the store's repair guarantee.
+	Mix flash.FaultMix
+
+	// Workload shape.
+	MaxOpsPerCycle int     // ops attempted per cycle (default 60)
+	Keys           int     // distinct keys (default 8)
+	ValueSize      int     // value bytes (default 24)
+	Threshold      float64 // MAE threshold for the approximate write path
+
+	// UseFTL runs the store on a journaled FTL instead of raw flash.
+	UseFTL bool
+	// Verify mounts the store with read-back verification of commits.
+	Verify bool
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Cycles <= 0 {
+		c.Cycles = 1000
+	}
+	if c.Spec.PageSize == 0 {
+		c.Spec = flash.DefaultSpec()
+		c.Spec.PageSize = 128
+		c.Spec.NumPages = 24
+		c.Spec.Banks = 1
+	}
+	if c.Mix.PowerLoss+c.Mix.StuckBits+c.Mix.ReadDisturb <= 0 {
+		c.Mix = flash.FaultMix{
+			PowerLoss: 8, StuckBits: 1, ReadDisturb: 1,
+			MinGap: 0, MaxGap: 300, MaxBits: 2,
+		}
+	}
+	if c.MaxOpsPerCycle <= 0 {
+		c.MaxOpsPerCycle = 60
+	}
+	if c.Keys <= 0 {
+		c.Keys = 8
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 24
+	}
+	return c
+}
+
+// Result is one campaign's outcome. Two runs with the same Config are
+// byte-identical, Fingerprint included.
+type Result struct {
+	Seed   uint64 `json:"seed"`
+	Cycles int    `json:"cycles"`
+
+	Crashes               int `json:"crashes"`                 // cycles ended by a power loss
+	CrashesDuringRecovery int `json:"crashes_during_recovery"` // power loss injected into a remount
+
+	PowerLossArmed   int `json:"power_loss_armed"`
+	StuckBitsArmed   int `json:"stuck_bits_armed"`
+	ReadDisturbArmed int `json:"read_disturb_armed"`
+
+	FaultsFired uint64 `json:"faults_fired"`
+
+	Violations     []string `json:"violations,omitempty"` // capped detail strings
+	ViolationCount int      `json:"violation_count"`
+
+	// Recovery cost: flash activity between crash and completed remount.
+	RecoveryBusy     time.Duration `json:"recovery_busy_ns"`
+	RecoveryEnergy   energy.Energy `json:"recovery_energy_j"`
+	MeanRecoveryBusy time.Duration `json:"mean_recovery_busy_ns"`
+
+	// Resilience counters from the final store state.
+	WastedPages   uint64 `json:"wasted_pages"` // retired + quarantined
+	CorrectedBits uint64 `json:"corrected_bits"`
+	TornSkipped   uint64 `json:"torn_skipped"`
+	Compactions   uint64 `json:"compactions"`
+
+	FTLRolledForward uint64 `json:"ftl_rolled_forward,omitempty"`
+	FTLRolledBack    uint64 `json:"ftl_rolled_back,omitempty"`
+
+	FinalLiveKeys int    `json:"final_live_keys"`
+	Fingerprint   uint64 `json:"fingerprint"`
+}
+
+// violationCap bounds the detail strings kept in Result.
+const violationCap = 10
+
+// pendingOp is the single operation in flight when power died.
+type pendingOp struct {
+	key    string
+	val    []byte // nil for a delete
+	delete bool
+	active bool
+}
+
+// campaign is the engine's run state.
+type campaign struct {
+	cfg   Config
+	rng   *xrand.RNG
+	dev   *core.Device
+	fl    *flash.Device
+	ftl   *ftl.FTL
+	store *kvs.Store
+
+	model   map[string][]byte // acked key → value
+	pending pendingOp
+
+	res  Result
+	fp   uint64 // FNV-1a running fingerprint
+	keys []string
+}
+
+// Run executes the campaign described by cfg.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	c := &campaign{
+		cfg:   cfg,
+		rng:   xrand.New(cfg.Seed),
+		model: map[string][]byte{},
+	}
+	c.res.Seed = cfg.Seed
+	c.res.Cycles = cfg.Cycles
+	c.fp = 14695981039346656037 // FNV-1a offset basis
+
+	c.dev = core.MustNewDevice(cfg.Spec)
+	c.fl = c.dev.Flash()
+	c.dev.SetThreshold(cfg.Threshold)
+	if err := c.mount(); err != nil {
+		return nil, fmt.Errorf("faultcampaign: initial mount: %w", err)
+	}
+	for i := 0; i < cfg.Keys; i++ {
+		c.keys = append(c.keys, fmt.Sprintf("k%02d", i))
+	}
+
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		c.runCycle(cycle)
+	}
+	c.finish()
+	return &c.res, nil
+}
+
+// mount (re)builds the software stack over the persistent flash array,
+// as a reboot would.
+func (c *campaign) mount() error {
+	var backendErr error
+	if c.cfg.UseFTL {
+		f, err := ftl.Open(c.dev)
+		if err != nil {
+			return err
+		}
+		c.ftl = f
+		ps := c.fl.Spec().PageSize
+		if err := c.dev.SetApproxRegion(0, f.NumPages()*ps); err != nil {
+			return err
+		}
+		c.store, backendErr = c.openStore(f)
+	} else {
+		if err := c.dev.SetApproxRegion(0, c.fl.Spec().Size()); err != nil {
+			return err
+		}
+		c.store, backendErr = c.openStore(nil)
+	}
+	return backendErr
+}
+
+// openStore mounts the kvs layer on the chosen backend.
+func (c *campaign) openStore(f *ftl.FTL) (*kvs.Store, error) {
+	var opts []kvs.Option
+	if c.cfg.Verify {
+		opts = append(opts, kvs.WithVerify())
+	}
+	if f != nil {
+		return kvs.OpenOn(f, opts...)
+	}
+	return kvs.Open(c.dev, opts...)
+}
+
+// runCycle arms one fault, drives workload until it fires (or the op budget
+// runs out), and — if power was lost — reboots and checks every invariant.
+func (c *campaign) runCycle(cycle int) {
+	f := c.drawFault()
+	c.fl.ArmFault(f)
+	c.mix(uint64(f.Kind), uint64(f.After), uint64(f.Bits))
+
+	crashed := false
+	ops := 0
+	for ; ops < c.cfg.MaxOpsPerCycle; ops++ {
+		if c.driveOp(cycle) {
+			crashed = true
+			break
+		}
+	}
+	c.mix(uint64(ops), boolU64(crashed))
+
+	if crashed {
+		c.res.Crashes++
+		c.reboot(cycle)
+	} else {
+		// The armed fault may not have fired (gap longer than the
+		// cycle's traffic); the next cycle's arming replaces it.
+		c.resolvePending(cycle)
+	}
+
+	st := c.fl.Stats()
+	c.mix(st.Programs, st.Erases, st.Reads, st.ProgramsSkipped, uint64(len(c.model)))
+}
+
+// drawFault picks the next fault of the campaign's schedule. Read-disturb
+// is narrowed to one bit — the single-bit repair guarantee; wider drifts
+// would need a real ECC.
+func (c *campaign) drawFault() flash.Fault {
+	m := c.cfg.Mix
+	total := m.PowerLoss + m.StuckBits + m.ReadDisturb
+	pick := c.rng.Intn(total)
+	kind := flash.FaultPowerLoss
+	switch {
+	case pick < m.PowerLoss:
+		kind = flash.FaultPowerLoss
+		c.res.PowerLossArmed++
+	case pick < m.PowerLoss+m.StuckBits:
+		kind = flash.FaultStuckBits
+		c.res.StuckBitsArmed++
+	default:
+		kind = flash.FaultReadDisturb
+		c.res.ReadDisturbArmed++
+	}
+	gap := m.MinGap
+	if m.MaxGap > m.MinGap {
+		gap += c.rng.Intn(m.MaxGap - m.MinGap + 1)
+	}
+	bits := 1
+	if kind == flash.FaultStuckBits && m.MaxBits > 1 {
+		bits += c.rng.Intn(m.MaxBits)
+	}
+	return flash.Fault{Kind: kind, After: gap, Bits: bits}
+}
+
+// driveOp performs one workload operation, returning true on power loss.
+func (c *campaign) driveOp(cycle int) bool {
+	key := c.keys[c.rng.Intn(len(c.keys))]
+	switch r := c.rng.Intn(10); {
+	case r < 5: // put
+		val := make([]byte, c.cfg.ValueSize)
+		for i := range val {
+			val[i] = c.rng.Byte()
+		}
+		c.pending = pendingOp{key: key, val: val, active: true}
+		err := c.store.Put(key, val)
+		if isPowerLoss(err) {
+			return true
+		}
+		c.pending.active = false
+		if err == nil {
+			c.model[key] = val
+		} else if !errors.Is(err, kvs.ErrFull) {
+			c.violation(cycle, "put %q: %v", key, err)
+		}
+	case r < 7: // delete
+		c.pending = pendingOp{key: key, delete: true, active: true}
+		err := c.store.Delete(key)
+		if isPowerLoss(err) {
+			return true
+		}
+		c.pending.active = false
+		if err == nil {
+			delete(c.model, key)
+		} else if !errors.Is(err, kvs.ErrFull) {
+			c.violation(cycle, "delete %q: %v", key, err)
+		}
+	default: // get
+		got, err := c.store.Get(key)
+		if isPowerLoss(err) {
+			return true
+		}
+		c.checkKey(cycle, key, got, err, "get")
+	}
+	return false
+}
+
+// reboot clears faults, optionally injects a power loss into the recovery
+// itself, remounts the stack and verifies every invariant.
+func (c *campaign) reboot(cycle int) {
+	c.fl.ClearFaults()
+
+	// A remount can itself be interrupted — energy-harvesting nodes
+	// brown out repeatedly. Bounded so the campaign always makes
+	// progress.
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt == 0 && c.rng.Intn(10) == 0 {
+			c.res.CrashesDuringRecovery++
+			c.fl.ArmFault(flash.Fault{Kind: flash.FaultPowerLoss, After: c.rng.Intn(40)})
+		}
+		before := c.fl.Stats()
+		err := c.mount()
+		after := c.fl.Stats()
+		c.res.RecoveryBusy += after.Busy - before.Busy
+		c.res.RecoveryEnergy += after.Energy - before.Energy
+		if err == nil {
+			c.resolvePending(cycle)
+			c.checkModel(cycle)
+			return
+		}
+		c.fl.ClearFaults()
+		if !isPowerLoss(err) {
+			c.violation(cycle, "remount: %v", err)
+			return
+		}
+	}
+	c.violation(cycle, "remount: power lost on every attempt")
+}
+
+// resolvePending settles the operation that was in flight at the crash:
+// after reboot the key must hold either its acked value or the pending one
+// — the pending outcome is then absorbed into the model.
+func (c *campaign) resolvePending(cycle int) {
+	if !c.pending.active {
+		return
+	}
+	p := c.pending
+	c.pending.active = false
+	got, err := c.store.Get(p.key)
+	acked, hadAcked := c.model[p.key]
+
+	switch {
+	case p.delete:
+		if errors.Is(err, kvs.ErrNotFound) {
+			delete(c.model, p.key) // tombstone landed
+			return
+		}
+		if err == nil && hadAcked && bytes.Equal(got, acked) {
+			return // rolled back
+		}
+	default:
+		if err == nil && bytes.Equal(got, p.val) {
+			c.model[p.key] = p.val // landed
+			return
+		}
+		if err == nil && hadAcked && bytes.Equal(got, acked) {
+			return // rolled back
+		}
+		if errors.Is(err, kvs.ErrNotFound) && !hadAcked {
+			return // rolled back to absent
+		}
+	}
+	c.violation(cycle, "in-flight %q settled to torn state (err %v)", p.key, err)
+}
+
+// checkModel verifies every acked key after a reboot. It walks the fixed
+// key universe, not the model map: map iteration order is randomised, and
+// Get's read-repair programs flash — order must stay deterministic for the
+// fingerprint to replay.
+func (c *campaign) checkModel(cycle int) {
+	for _, key := range c.keys {
+		want, ok := c.model[key]
+		if !ok {
+			continue
+		}
+		got, err := c.store.Get(key)
+		if err != nil || !bytes.Equal(got, want) {
+			c.violation(cycle, "acked %q lost after reboot: err %v", key, err)
+		}
+	}
+}
+
+// checkKey verifies one read against the model.
+func (c *campaign) checkKey(cycle int, key string, got []byte, err error, op string) {
+	want, ok := c.model[key]
+	switch {
+	case !ok:
+		if !errors.Is(err, kvs.ErrNotFound) {
+			c.violation(cycle, "%s %q: want not-found, got err %v", op, key, err)
+		}
+	case err != nil:
+		c.violation(cycle, "%s %q: %v", op, key, err)
+	case !bytes.Equal(got, want):
+		c.violation(cycle, "%s %q: value mismatch", op, key)
+	}
+}
+
+// violation records one invariant failure.
+func (c *campaign) violation(cycle int, format string, args ...any) {
+	c.res.ViolationCount++
+	if len(c.res.Violations) < violationCap {
+		msg := fmt.Sprintf(format, args...)
+		c.res.Violations = append(c.res.Violations, fmt.Sprintf("cycle %d: %s", cycle, msg))
+	}
+}
+
+// finish folds the terminal state into the result.
+func (c *campaign) finish() {
+	st := c.store.Stats()
+	c.res.WastedPages = st.RetiredPages + st.QuarantinedPages
+	c.res.CorrectedBits = st.CorrectedBits
+	c.res.TornSkipped = st.TornSkipped
+	c.res.Compactions = st.Compactions
+	c.res.FinalLiveKeys = c.store.Len()
+	c.res.FaultsFired = c.fl.FaultsFired()
+	if c.ftl != nil {
+		fst := c.ftl.Stats()
+		c.res.FTLRolledForward = fst.RolledForward
+		c.res.FTLRolledBack = fst.RolledBack
+		c.res.CorrectedBits += fst.CorrectedBits
+	}
+	if c.res.Crashes > 0 {
+		c.res.MeanRecoveryBusy = c.res.RecoveryBusy / time.Duration(c.res.Crashes)
+	}
+	c.mix(c.res.FaultsFired, uint64(c.res.Crashes), uint64(c.res.ViolationCount))
+	c.res.Fingerprint = c.fp
+}
+
+// mix folds values into the FNV-1a fingerprint.
+func (c *campaign) mix(vs ...uint64) {
+	for _, v := range vs {
+		for i := 0; i < 8; i++ {
+			c.fp ^= v & 0xFF
+			c.fp *= 1099511628211
+			v >>= 8
+		}
+	}
+}
+
+// isPowerLoss unwraps the sentinel through every layer.
+func isPowerLoss(err error) bool { return errors.Is(err, flash.ErrPowerLoss) }
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

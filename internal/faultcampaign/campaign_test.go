@@ -1,0 +1,98 @@
+package faultcampaign
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/flipbit-sim/flipbit/internal/flash"
+)
+
+// TestCampaignDeterministic: the whole campaign — fault schedule, workload,
+// crashes, recovery stats, fingerprint — is a pure function of the config.
+func TestCampaignDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Cycles: 150}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.Fingerprint == 0 {
+		t.Error("fingerprint never mixed")
+	}
+}
+
+// TestCampaignSeedsDiffer: different seeds must explore different schedules.
+func TestCampaignSeedsDiffer(t *testing.T) {
+	a, err := Run(Config{Seed: 1, Cycles: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 2, Cycles: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint == b.Fingerprint {
+		t.Error("distinct seeds produced identical fingerprints")
+	}
+}
+
+// TestCampaignDirectKVS is the acceptance run: ≥1000 seeded crash/reboot
+// cycles against the store on raw flash, zero recovery-invariant violations.
+func TestCampaignDirectKVS(t *testing.T) {
+	res, err := Run(Config{Seed: 7, Cycles: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertClean(t, res)
+}
+
+// TestCampaignKVSOnFTL: the same campaign through the journaled FTL, with
+// commit read-back verification on.
+func TestCampaignKVSOnFTL(t *testing.T) {
+	res, err := Run(Config{Seed: 7, Cycles: 1000, UseFTL: true, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertClean(t, res)
+}
+
+// TestCampaignPowerLossOnly: a pure brown-out storm with short gaps so most
+// cycles crash mid-operation.
+func TestCampaignPowerLossOnly(t *testing.T) {
+	res, err := Run(Config{
+		Seed:   11,
+		Cycles: 400,
+		Mix:    flash.FaultMix{PowerLoss: 1, MinGap: 0, MaxGap: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertClean(t, res)
+	if res.Crashes < res.Cycles/4 {
+		t.Errorf("only %d/%d cycles crashed; gaps too generous for a brown-out storm", res.Crashes, res.Cycles)
+	}
+}
+
+// assertClean fails the test on any recovery-invariant violation and checks
+// the campaign actually exercised faults.
+func assertClean(t *testing.T, res *Result) {
+	t.Helper()
+	if res.ViolationCount != 0 {
+		t.Fatalf("%d invariant violations, first: %v", res.ViolationCount, res.Violations)
+	}
+	if res.Crashes == 0 {
+		t.Error("campaign never crashed; fault schedule too sparse to prove anything")
+	}
+	if res.FaultsFired == 0 {
+		t.Error("no fault ever fired")
+	}
+	t.Logf("cycles=%d crashes=%d (during recovery %d) fired=%d wasted=%d corrected=%d torn=%d meanRecovery=%v fp=%016x",
+		res.Cycles, res.Crashes, res.CrashesDuringRecovery, res.FaultsFired,
+		res.WastedPages, res.CorrectedBits, res.TornSkipped, res.MeanRecoveryBusy, res.Fingerprint)
+}

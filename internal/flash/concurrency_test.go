@@ -1,6 +1,7 @@
 package flash
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -17,7 +18,11 @@ func concurrencySpec() Spec {
 }
 
 // workerOps drives a deterministic op sequence against the pages of one
-// bank. The same sequence is used serially and concurrently.
+// bank. The same sequence is used serially and concurrently. Every ~50
+// rounds it arms a bank-scoped fault drawn from the same seed stream:
+// because a bank scope's countdown only observes that bank's operations,
+// fault firing — and the torn/stuck/disturbed state it leaves — must be
+// identical whether the banks run serially or in parallel.
 func workerOps(d *Device, bank, rounds int, seed uint64) {
 	rng := xrand.New(seed)
 	spec := d.Spec()
@@ -29,6 +34,14 @@ func workerOps(d *Device, bank, rounds int, seed uint64) {
 	}
 	buf := make([]byte, spec.PageSize)
 	for r := 0; r < rounds; r++ {
+		if r%50 == 0 {
+			kind := []FaultKind{FaultPowerLoss, FaultStuckBits, FaultReadDisturb}[rng.Intn(3)]
+			d.ArmBankFault(bank, Fault{
+				Kind:  kind,
+				After: rng.Intn(10),
+				Bits:  1 + rng.Intn(3),
+			})
+		}
 		p := pages[rng.Intn(len(pages))]
 		base := d.PageBase(p)
 		switch rng.Intn(4) {
@@ -87,6 +100,106 @@ func TestConcurrentDisjointBanksMatchSerial(t *testing.T) {
 	for p := 0; p < spec.NumPages; p++ {
 		if serial.Wear(p) != conc.Wear(p) {
 			t.Errorf("wear differs at page %d: %d vs %d", p, serial.Wear(p), conc.Wear(p))
+		}
+	}
+	if s, c := serial.FaultsFired(), conc.FaultsFired(); s != c || s == 0 {
+		t.Errorf("faults fired: serial %d, concurrent %d (want equal and > 0)", s, c)
+	}
+}
+
+// TestRaceStressPowerLossDuringTraffic: repeatedly arming the shared-scope
+// one-shot power-loss fault while goroutines hammer every bank. Which racing
+// operation trips the fault is scheduling-dependent (that is the point of the
+// shared scope), but the device must stay coherent: operation counts are
+// conserved in the stats, and after the storm every page still erases,
+// programs and reads back correctly.
+func TestRaceStressPowerLossDuringTraffic(t *testing.T) {
+	spec := concurrencySpec()
+	d := MustNewDevice(spec)
+
+	const workers = 8
+	const perWorker = 400
+	stop := make(chan struct{})
+	var armer sync.WaitGroup
+	armer.Add(1)
+	go func() {
+		defer armer.Done()
+		rng := xrand.New(0xA11CE)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d.InjectPowerLoss(rng.Intn(5))
+		}
+	}()
+
+	var wg sync.WaitGroup
+	losses := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(500 + w))
+			buf := make([]byte, spec.PageSize)
+			for r := 0; r < perWorker; r++ {
+				p := rng.Intn(spec.NumPages)
+				var err error
+				switch rng.Intn(3) {
+				case 0:
+					err = d.Read(d.PageBase(p), buf)
+				case 1:
+					err = d.ErasePage(p)
+				case 2:
+					err = d.ProgramByte(d.PageBase(p)+rng.Intn(spec.PageSize), 0)
+				}
+				if errors.Is(err, ErrPowerLoss) {
+					losses[w]++
+				} else if err != nil {
+					t.Errorf("worker %d: unexpected error %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	armer.Wait()
+	d.ClearFaults()
+
+	// Interrupted operations still emit exactly one event each, so the op
+	// count is conserved even across faults.
+	st := d.Stats()
+	totalOps := st.Erases + st.Programs + st.ProgramsSkipped + st.Reads/uint64(spec.PageSize)
+	if totalOps != workers*perWorker {
+		t.Errorf("ops not conserved: %d, want %d (stats %+v)", totalOps, workers*perWorker, st)
+	}
+	var totalLosses int
+	for _, n := range losses {
+		totalLosses += n
+	}
+	if totalLosses == 0 {
+		t.Error("storm never tripped a power loss — arming raced to nothing")
+	}
+	if fired := d.FaultsFired(); fired < uint64(totalLosses) {
+		t.Errorf("FaultsFired %d < observed losses %d", fired, totalLosses)
+	}
+
+	// The device must be fully functional after the storm.
+	buf := make([]byte, spec.PageSize)
+	for p := 0; p < spec.NumPages; p++ {
+		if err := d.ErasePage(p); err != nil {
+			t.Fatalf("post-storm erase page %d: %v", p, err)
+		}
+		if err := d.ProgramByte(d.PageBase(p), 0x5A); err != nil {
+			t.Fatalf("post-storm program page %d: %v", p, err)
+		}
+		if err := d.ReadPage(p, buf); err != nil {
+			t.Fatalf("post-storm read page %d: %v", p, err)
+		}
+		if buf[0] != 0x5A {
+			t.Fatalf("post-storm readback page %d: got %02x", p, buf[0])
 		}
 	}
 }

@@ -73,6 +73,10 @@ type bank struct {
 	// rng drives the stuck-bit failure model for worn-out pages in this
 	// bank. Per-bank so concurrent banks never share RNG state.
 	rng *xrand.RNG
+	// faults is the bank-scoped fault arm state (faults.go): its countdown
+	// only observes this bank's operations, so injected faults fire
+	// deterministically even under concurrent cross-bank traffic.
+	faults faultScope
 }
 
 // Device is a simulated NOR flash chip: the memory array, wear counters,
@@ -101,11 +105,10 @@ type Device struct {
 	// obs are the attached operation-event observers (observer.go).
 	obs []Observer
 
-	// One-shot power-loss fault injection (powerloss.go); plMu guards the
-	// arm state against concurrent operations across banks.
-	plMu    sync.Mutex
-	plArmed bool
-	plSkip  int
+	// Fault injection (faults.go): ftMu guards the shared scope and the
+	// per-bank scopes against concurrent arming and firing.
+	ftMu   sync.Mutex
+	faults faultScope
 }
 
 // SetProgramAll toggles charging program pulses for unchanged bytes.
@@ -244,7 +247,11 @@ func (d *Device) ReadByteAt(addr int) (byte, error) {
 		Kind: OpRead, Bank: b, Addr: addr, Bytes: 1,
 		Energy: d.spec.ReadEnergy, Busy: d.spec.ReadLatency,
 	})
-	return d.array[addr], nil
+	v := d.array[addr]
+	if f, fired := d.faultFor(b, OpRead); fired && f.Kind == FaultReadDisturb {
+		d.disturbPage(b, d.PageOf(addr), f.bits())
+	}
+	return v, nil
 }
 
 // Read fills dst from consecutive addresses starting at addr. A read that
@@ -269,6 +276,9 @@ func (d *Device) Read(addr int, dst []byte) error {
 			Energy: d.spec.ReadEnergy * energy.Energy(n),
 			Busy:   d.spec.ReadLatency * time.Duration(n),
 		})
+		if f, fired := d.faultFor(b, OpRead); fired && f.Kind == FaultReadDisturb {
+			d.disturbPage(b, page, f.bits())
+		}
 		bk.mu.Unlock()
 		off += n
 	}
@@ -296,6 +306,9 @@ func (d *Device) ReadPage(p int, dst []byte) error {
 		Energy: d.spec.ReadEnergy * energy.Energy(d.spec.PageSize),
 		Busy:   d.spec.ReadLatency * time.Duration(d.spec.PageSize),
 	})
+	if f, fired := d.faultFor(b, OpRead); fired && f.Kind == FaultReadDisturb {
+		d.disturbPage(b, p, f.bits())
+	}
 	return nil
 }
 
@@ -326,7 +339,7 @@ func (d *Device) programByteLocked(b, addr int, v byte) error {
 		d.emit(OpEvent{Kind: OpProgramSkip, Bank: b, Addr: addr, Bytes: 1, Value: v})
 		return nil
 	}
-	if d.powerLossPending() {
+	if f, fired := d.faultFor(b, OpProgram); fired && f.Kind == FaultPowerLoss {
 		// The pulse was cut short: some target bits cleared, the
 		// rest did not. Energy/latency for the partial pulse is
 		// still drawn from the supply.
@@ -363,7 +376,8 @@ func (d *Device) ErasePage(p int) error {
 // erasePageLocked is ErasePage with bank b's lock held.
 func (d *Device) erasePageLocked(b, p int) error {
 	base := d.PageBase(p)
-	if d.powerLossPending() {
+	f, fired := d.faultFor(b, OpErase)
+	if fired && f.Kind == FaultPowerLoss {
 		d.tearErase(b, p)
 		d.wear[p]++ // the tunnel-oxide stress happened regardless
 		d.emit(OpEvent{
@@ -380,18 +394,18 @@ func (d *Device) erasePageLocked(b, p int) error {
 		Kind: OpErase, Bank: b, Addr: p, Bytes: d.spec.PageSize,
 		Energy: d.spec.EraseEnergy, Busy: d.spec.EraseLatency,
 	})
+	if fired && f.Kind == FaultStuckBits {
+		// Marginal cells: the erase completes and reports success, but
+		// some cells fail to reach the erased state — silent until a
+		// read-back verify notices, exactly like real early wear-out.
+		d.stickBits(b, p, f.bits())
+	}
 	if d.wear[p] > d.spec.EnduranceCycles {
 		d.dead[p] = true
 		// Stuck-at-zero failure model: roughly one cell per byte per
 		// thousand cycles past the limit fails to erase.
 		over := d.wear[p] - d.spec.EnduranceCycles
-		stuck := 1 + int(over/1000)
-		rng := d.banks[b].rng
-		for i := 0; i < stuck; i++ {
-			off := rng.Intn(d.spec.PageSize)
-			bit := rng.Intn(8)
-			d.array[base+off] &^= 1 << uint(bit)
-		}
+		d.stickBits(b, p, 1+int(over/1000))
 		return fmt.Errorf("page %d: %w (wear %d > %d)", p, ErrWornOut, d.wear[p], d.spec.EnduranceCycles)
 	}
 	return nil

@@ -1,0 +1,290 @@
+package flash
+
+import "github.com/flipbit-sim/flipbit/internal/xrand"
+
+// Fault scheduling. The one-shot power-loss hook of early versions grew into
+// a general mechanism: a device (or a single bank) can be armed with a
+// queue of faults — power loss tearing a program or erase partway, marginal
+// cells left stuck at 0 by an erase, read-disturb bit flips — and a
+// deterministic schedule can keep re-arming faults forever. Everything is
+// driven by xrand seeds, so a failing fault campaign replays byte-identically
+// from its seed alone.
+//
+// Scopes: each bank owns a fault scope whose countdown only observes that
+// bank's operations, which keeps fault firing deterministic under concurrent
+// traffic (the serial ≡ concurrent property test covers it). The device-wide
+// shared scope — what InjectPowerLoss arms — counts operations across all
+// banks; under concurrency *which* racing operation trips it is
+// scheduling-dependent, like a real brown-out.
+
+// FaultKind selects the failure mode of an injected fault.
+type FaultKind uint8
+
+// Supported fault kinds.
+const (
+	// FaultNone is the zero value; arming it is a no-op.
+	FaultNone FaultKind = iota
+	// FaultPowerLoss interrupts the victim program or erase partway; the
+	// operation reports ErrPowerLoss and leaves torn state behind.
+	FaultPowerLoss
+	// FaultStuckBits lets the victim erase complete but leaves Bits cells
+	// stuck at 0 — the marginal-cell failure of §II-B, silent until a
+	// read-back verify catches it.
+	FaultStuckBits
+	// FaultReadDisturb serves the victim read correctly but then clears
+	// Bits cells in the page read — charge drift from repeated reads.
+	FaultReadDisturb
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultPowerLoss:
+		return "power-loss"
+	case FaultStuckBits:
+		return "stuck-bits"
+	case FaultReadDisturb:
+		return "read-disturb"
+	}
+	return "none"
+}
+
+// appliesTo reports whether an op of kind op advances (and can trip) a fault
+// of kind k. Power loss stalks state-changing operations, stuck bits ride on
+// erases, read disturb on reads. Skipped programs never count — no pulse, no
+// fault, matching the original one-shot semantics.
+func (k FaultKind) appliesTo(op OpKind) bool {
+	switch k {
+	case FaultPowerLoss:
+		return op == OpProgram || op == OpErase
+	case FaultStuckBits:
+		return op == OpErase
+	case FaultReadDisturb:
+		return op == OpRead
+	}
+	return false
+}
+
+// Fault is one scheduled failure.
+type Fault struct {
+	Kind FaultKind
+	// After is how many operations of the fault's kind-domain complete
+	// normally before the next one becomes the victim.
+	After int
+	// Bits is how many cells a stuck-bits or read-disturb fault affects
+	// (0 means 1).
+	Bits int
+}
+
+// bits returns the effective affected-cell count.
+func (f Fault) bits() int {
+	if f.Bits <= 0 {
+		return 1
+	}
+	return f.Bits
+}
+
+// FaultSchedule supplies faults to re-arm a scope after each firing. Next
+// returns the next fault and true, or false when the schedule is exhausted.
+// Implementations must be deterministic to keep campaigns replayable.
+type FaultSchedule interface {
+	Next() (Fault, bool)
+}
+
+// FaultMix parameterises RandomSchedule: relative weights per fault kind and
+// the uniform ranges the gap and bit counts are drawn from.
+type FaultMix struct {
+	PowerLoss   int // weight of FaultPowerLoss
+	StuckBits   int // weight of FaultStuckBits
+	ReadDisturb int // weight of FaultReadDisturb
+
+	MinGap, MaxGap int // Fault.After drawn uniformly from [MinGap, MaxGap]
+	MaxBits        int // Bits drawn uniformly from [1, MaxBits] (0 → 1)
+}
+
+// weightSum returns the total weight, defaulting to power loss only.
+func (m FaultMix) weightSum() int {
+	s := m.PowerLoss + m.StuckBits + m.ReadDisturb
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// RandomSchedule is an endless, seeded fault stream: kinds are drawn by
+// weight and gaps/bit counts uniformly from the mix's ranges. The stream is
+// a pure function of (seed, mix).
+type RandomSchedule struct {
+	rng *xrand.RNG
+	mix FaultMix
+}
+
+// NewRandomSchedule returns the deterministic schedule for (seed, mix).
+func NewRandomSchedule(seed uint64, mix FaultMix) *RandomSchedule {
+	if mix.MaxGap < mix.MinGap {
+		mix.MaxGap = mix.MinGap
+	}
+	return &RandomSchedule{rng: xrand.New(seed), mix: mix}
+}
+
+// Next implements FaultSchedule; the stream never ends.
+func (s *RandomSchedule) Next() (Fault, bool) {
+	m := s.mix
+	pick := s.rng.Intn(m.weightSum())
+	kind := FaultPowerLoss
+	switch {
+	case m.PowerLoss+m.StuckBits+m.ReadDisturb <= 0:
+		kind = FaultPowerLoss
+	case pick < m.PowerLoss:
+		kind = FaultPowerLoss
+	case pick < m.PowerLoss+m.StuckBits:
+		kind = FaultStuckBits
+	default:
+		kind = FaultReadDisturb
+	}
+	gap := m.MinGap
+	if m.MaxGap > m.MinGap {
+		gap += s.rng.Intn(m.MaxGap - m.MinGap + 1)
+	}
+	bits := 1
+	if m.MaxBits > 1 {
+		bits += s.rng.Intn(m.MaxBits)
+	}
+	return Fault{Kind: kind, After: gap, Bits: bits}, true
+}
+
+// faultScope is one arming domain: the device-wide shared scope or a single
+// bank. Its mutex only guards the arm state; it nests inside bank locks and
+// is never held while taking any other lock.
+type faultScope struct {
+	armed bool
+	cur   Fault
+	sched FaultSchedule
+	fired uint64
+}
+
+// arm replaces the scope's pending fault. Arming FaultNone disarms.
+func (fs *faultScope) arm(f Fault) {
+	fs.cur = f
+	fs.armed = f.Kind != FaultNone
+}
+
+// setSchedule installs a schedule and arms its first fault.
+func (fs *faultScope) setSchedule(s FaultSchedule) {
+	fs.sched = s
+	fs.armed = false
+	if s != nil {
+		if f, ok := s.Next(); ok {
+			fs.arm(f)
+		}
+	}
+}
+
+// match advances the countdown for an op of the given kind and reports
+// whether the pending fault fires on it. On firing, the next fault (if a
+// schedule is installed) is armed.
+func (fs *faultScope) match(op OpKind) (Fault, bool) {
+	if !fs.armed || !fs.cur.Kind.appliesTo(op) {
+		return Fault{}, false
+	}
+	if fs.cur.After > 0 {
+		fs.cur.After--
+		return Fault{}, false
+	}
+	f := fs.cur
+	fs.armed = false
+	fs.fired++
+	if fs.sched != nil {
+		if nf, ok := fs.sched.Next(); ok {
+			fs.arm(nf)
+		}
+	}
+	return f, true
+}
+
+// ArmFault arms a one-shot fault in the device-wide shared scope. The
+// countdown observes matching operations from every bank; under concurrent
+// traffic the victim operation is scheduling-dependent.
+func (d *Device) ArmFault(f Fault) {
+	d.ftMu.Lock()
+	defer d.ftMu.Unlock()
+	d.faults.arm(f)
+}
+
+// ArmBankFault arms a one-shot fault scoped to bank b: only bank b's
+// operations advance the countdown, so firing is deterministic even with
+// other banks running concurrently.
+func (d *Device) ArmBankFault(b int, f Fault) {
+	d.ftMu.Lock()
+	defer d.ftMu.Unlock()
+	d.banks[b].faults.arm(f)
+}
+
+// SetFaultSchedule installs a device-wide fault schedule, arming its first
+// fault immediately. Passing nil removes the schedule (a pending armed fault
+// is cleared too).
+func (d *Device) SetFaultSchedule(s FaultSchedule) {
+	d.ftMu.Lock()
+	defer d.ftMu.Unlock()
+	d.faults.setSchedule(s)
+}
+
+// SetBankFaultSchedule installs a schedule scoped to bank b.
+func (d *Device) SetBankFaultSchedule(b int, s FaultSchedule) {
+	d.ftMu.Lock()
+	defer d.ftMu.Unlock()
+	d.banks[b].faults.setSchedule(s)
+}
+
+// ClearFaults disarms every pending fault and removes every schedule, shared
+// and per-bank — the campaign engine calls it at reboot boundaries so a
+// leftover fault never leaks into recovery measurement.
+func (d *Device) ClearFaults() {
+	d.ftMu.Lock()
+	defer d.ftMu.Unlock()
+	d.faults.setSchedule(nil)
+	for b := range d.banks {
+		d.banks[b].faults.setSchedule(nil)
+	}
+}
+
+// FaultsFired returns how many faults have fired across all scopes.
+func (d *Device) FaultsFired() uint64 {
+	d.ftMu.Lock()
+	defer d.ftMu.Unlock()
+	n := d.faults.fired
+	for b := range d.banks {
+		n += d.banks[b].faults.fired
+	}
+	return n
+}
+
+// faultFor consults bank b's scope first, then the shared scope, for an op
+// of the given kind. Called with bank b's lock held.
+func (d *Device) faultFor(b int, op OpKind) (Fault, bool) {
+	d.ftMu.Lock()
+	defer d.ftMu.Unlock()
+	if f, ok := d.banks[b].faults.match(op); ok {
+		return f, true
+	}
+	return d.faults.match(op)
+}
+
+// stickBits clears n cells at seeded-random positions in page p — the
+// stuck-at-0 failure of both the endurance model and FaultStuckBits. Called
+// with bank b's lock held; positions come from the bank's RNG so per-bank
+// sequences stay deterministic.
+func (d *Device) stickBits(b, p, n int) {
+	base := d.PageBase(p)
+	rng := d.banks[b].rng
+	for i := 0; i < n; i++ {
+		off := rng.Intn(d.spec.PageSize)
+		bit := rng.Intn(8)
+		d.array[base+off] &^= 1 << uint(bit)
+	}
+}
+
+// disturbPage applies a read-disturb fault: n cells of page p drift to 0
+// after the read has been served. Called with bank b's lock held.
+func (d *Device) disturbPage(b, p, n int) {
+	d.stickBits(b, p, n)
+}

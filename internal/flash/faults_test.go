@@ -1,0 +1,245 @@
+package flash
+
+import (
+	"errors"
+	"testing"
+)
+
+// drainSchedule pulls n faults from a schedule.
+func drainSchedule(s FaultSchedule, n int) []Fault {
+	out := make([]Fault, 0, n)
+	for i := 0; i < n; i++ {
+		f, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	mix := FaultMix{PowerLoss: 3, StuckBits: 2, ReadDisturb: 1, MinGap: 0, MaxGap: 40, MaxBits: 4}
+	a := drainSchedule(NewRandomSchedule(99, mix), 256)
+	b := drainSchedule(NewRandomSchedule(99, mix), 256)
+	if len(a) != 256 || len(b) != 256 {
+		t.Fatalf("schedule ended early: %d / %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed must diverge somewhere in the stream.
+	c := drainSchedule(NewRandomSchedule(100, mix), 256)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault streams")
+	}
+}
+
+func TestRandomScheduleMixCoverage(t *testing.T) {
+	mix := FaultMix{PowerLoss: 1, StuckBits: 1, ReadDisturb: 1, MinGap: 5, MaxGap: 9, MaxBits: 3}
+	counts := map[FaultKind]int{}
+	for _, f := range drainSchedule(NewRandomSchedule(7, mix), 600) {
+		counts[f.Kind]++
+		if f.After < 5 || f.After > 9 {
+			t.Fatalf("gap %d outside [5,9]", f.After)
+		}
+		if f.Bits < 1 || f.Bits > 3 {
+			t.Fatalf("bits %d outside [1,3]", f.Bits)
+		}
+	}
+	for _, k := range []FaultKind{FaultPowerLoss, FaultStuckBits, FaultReadDisturb} {
+		if counts[k] == 0 {
+			t.Errorf("kind %v never drawn", k)
+		}
+	}
+}
+
+func TestStuckBitsFault(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	d.ArmFault(Fault{Kind: FaultStuckBits, Bits: 6})
+	// The erase reports success — the failure is silent.
+	if err := d.ErasePage(0); err != nil {
+		t.Fatalf("stuck-bits erase must not error: %v", err)
+	}
+	stuck := 0
+	for i := 0; i < d.Spec().PageSize; i++ {
+		if v := d.Peek(d.PageBase(0) + i); v != 0xFF {
+			for bit := 0; bit < 8; bit++ {
+				if v&(1<<uint(bit)) == 0 {
+					stuck++
+				}
+			}
+		}
+	}
+	if stuck == 0 || stuck > 6 {
+		t.Errorf("want 1..6 stuck cells after fault, got %d", stuck)
+	}
+	if d.FaultsFired() != 1 {
+		t.Errorf("FaultsFired = %d, want 1", d.FaultsFired())
+	}
+	// A clean erase clears the stuck cells (first wear-out events are
+	// recoverable in NOR; permanence comes from the endurance model).
+	if err := d.ErasePage(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Spec().PageSize; i++ {
+		if d.Peek(d.PageBase(0)+i) != 0xFF {
+			t.Fatalf("cell %d still stuck after clean erase", i)
+		}
+	}
+}
+
+func TestReadDisturbFault(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	ps := d.Spec().PageSize
+	buf := make([]byte, ps)
+	d.ArmFault(Fault{Kind: FaultReadDisturb, Bits: 3})
+	// The read itself is served correctly…
+	if err := d.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range buf {
+		if v != 0xFF {
+			t.Fatalf("read %d returned disturbed data %02x", i, v)
+		}
+	}
+	// …but afterwards the page has drifted cells.
+	flipped := 0
+	for i := 0; i < ps; i++ {
+		if d.Peek(d.PageBase(0)+i) != 0xFF {
+			flipped++
+		}
+	}
+	if flipped == 0 {
+		t.Error("read-disturb fault left no trace")
+	}
+	// Programs and erases must not advance a read-disturb countdown.
+	d.ClearFaults()
+	d.ArmFault(Fault{Kind: FaultReadDisturb, After: 0})
+	if err := d.ProgramByte(d.PageBase(1), 0x00); err != nil {
+		t.Fatal(err)
+	}
+	if d.FaultsFired() != 1 {
+		t.Fatalf("program advanced a read-disturb fault (fired %d)", d.FaultsFired())
+	}
+}
+
+func TestBankFaultScoped(t *testing.T) {
+	spec := smallSpec()
+	spec.Banks = 4
+	spec.NumPages = 16
+	d := MustNewDevice(spec)
+	// Bank 1's countdown: one free program, then the victim.
+	d.ArmBankFault(1, Fault{Kind: FaultPowerLoss, After: 1})
+	// Traffic on other banks must not advance it.
+	for p := 0; p < spec.NumPages; p++ {
+		if d.BankOf(p) == 1 {
+			continue
+		}
+		if err := d.ProgramByte(d.PageBase(p), 0x00); err != nil {
+			t.Fatalf("bank %d program hit bank 1's fault: %v", d.BankOf(p), err)
+		}
+	}
+	base := d.PageBase(1) // page 1 lives in bank 1
+	if err := d.ProgramByte(base, 0x0F); err != nil {
+		t.Fatalf("first bank-1 program should survive: %v", err)
+	}
+	if err := d.ProgramByte(base+1, 0x0F); !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("second bank-1 program should trip, got %v", err)
+	}
+}
+
+func TestFaultScheduleReArms(t *testing.T) {
+	d := MustNewDevice(smallSpec())
+	// Power loss every other state-changing op, forever.
+	d.SetFaultSchedule(NewRandomSchedule(1, FaultMix{PowerLoss: 1, MinGap: 1, MaxGap: 1}))
+	losses := 0
+	for i := 0; i < 40; i++ {
+		err := d.ProgramByte(i%d.Spec().PageSize, 0x00)
+		if errors.Is(err, ErrPowerLoss) {
+			losses++
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Gap 1 → every second eligible op is a victim; skipped programs
+	// (already-0 bytes after a successful clear) do not count.
+	if losses < 5 {
+		t.Errorf("schedule stopped re-arming: only %d losses in 40 ops", losses)
+	}
+	if got := d.FaultsFired(); got != uint64(losses) {
+		t.Errorf("FaultsFired = %d, want %d", got, losses)
+	}
+	d.ClearFaults()
+	if err := d.ErasePage(0); err != nil {
+		t.Fatalf("ClearFaults left a schedule behind: %v", err)
+	}
+}
+
+func TestClearFaultsDisarmsAllScopes(t *testing.T) {
+	spec := smallSpec()
+	spec.Banks = 2
+	spec.NumPages = 8
+	d := MustNewDevice(spec)
+	d.ArmFault(Fault{Kind: FaultPowerLoss})
+	d.ArmBankFault(0, Fault{Kind: FaultPowerLoss})
+	d.ArmBankFault(1, Fault{Kind: FaultStuckBits})
+	d.ClearFaults()
+	for p := 0; p < spec.NumPages; p++ {
+		if err := d.ErasePage(p); err != nil {
+			t.Fatalf("fault survived ClearFaults: %v", err)
+		}
+	}
+	if d.FaultsFired() != 0 {
+		t.Errorf("FaultsFired = %d after clear-before-fire", d.FaultsFired())
+	}
+}
+
+// TestFaultedDeviceDeterministic: the full device under a fault schedule is a
+// pure function of (spec, device seed, schedule seed) — the replay guarantee
+// the campaign engine builds on.
+func TestFaultedDeviceDeterministic(t *testing.T) {
+	run := func() ([]byte, Stats) {
+		spec := smallSpec()
+		d := MustNewDevice(spec)
+		d.SetFaultSchedule(NewRandomSchedule(5, FaultMix{
+			PowerLoss: 2, StuckBits: 1, ReadDisturb: 1, MinGap: 0, MaxGap: 6, MaxBits: 3,
+		}))
+		buf := make([]byte, spec.PageSize)
+		for r := 0; r < 300; r++ {
+			p := r % spec.NumPages
+			switch r % 3 {
+			case 0:
+				_ = d.ErasePage(p)
+			case 1:
+				_ = d.ProgramByte(d.PageBase(p)+(r%spec.PageSize), byte(r))
+			case 2:
+				_ = d.ReadPage(p, buf)
+			}
+		}
+		img := make([]byte, spec.Size())
+		for a := range img {
+			img[a] = d.Peek(a)
+		}
+		return img, d.Stats()
+	}
+	img1, st1 := run()
+	img2, st2 := run()
+	if st1 != st2 {
+		t.Errorf("stats differ across identical runs:\n%+v\n%+v", st1, st2)
+	}
+	for a := range img1 {
+		if img1[a] != img2[a] {
+			t.Fatalf("array differs at %#x: %02x vs %02x", a, img1[a], img2[a])
+		}
+	}
+}

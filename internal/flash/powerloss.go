@@ -6,8 +6,9 @@ import "errors"
 // interrupted by power loss leaves a byte with only some of its bits
 // cleared, and an interrupted erase leaves a page with a mixture of erased
 // and stale bytes. Embedded firmware must tolerate both (it is why
-// checkpointing systems keep a previous-good copy); these hooks let tests
-// and experiments exercise that failure mode deterministically.
+// checkpointing systems keep a previous-good copy). The general fault
+// machinery lives in faults.go; this file keeps the power-loss tear
+// mechanics and the original one-shot arming entry point.
 
 // ErrPowerLoss is returned by the operation that was interrupted.
 var ErrPowerLoss = errors.New("flash: power lost mid-operation")
@@ -15,31 +16,12 @@ var ErrPowerLoss = errors.New("flash: power lost mid-operation")
 // InjectPowerLoss arms a one-shot fault: after skip more successful
 // state-changing operations (programs or erases), the next one is
 // interrupted partway and returns ErrPowerLoss. The device remains usable
-// afterwards, modelling a reboot. The arm state is shared across banks and
-// guarded separately, so it stays coherent under concurrent traffic (which
-// of the racing operations trips the fault is then scheduling-dependent,
-// like a real brown-out).
+// afterwards, modelling a reboot. The arm state lives in the shared fault
+// scope, so it stays coherent under concurrent traffic (which of the racing
+// operations trips the fault is then scheduling-dependent, like a real
+// brown-out); use ArmBankFault for deterministic firing under concurrency.
 func (d *Device) InjectPowerLoss(skip int) {
-	d.plMu.Lock()
-	defer d.plMu.Unlock()
-	d.plArmed = true
-	d.plSkip = skip
-}
-
-// powerLossPending decrements the arm counter and reports whether the
-// current operation should be interrupted.
-func (d *Device) powerLossPending() bool {
-	d.plMu.Lock()
-	defer d.plMu.Unlock()
-	if !d.plArmed {
-		return false
-	}
-	if d.plSkip > 0 {
-		d.plSkip--
-		return false
-	}
-	d.plArmed = false
-	return true
+	d.ArmFault(Fault{Kind: FaultPowerLoss, After: skip})
 }
 
 // tearProgram applies a partial program: each bit the full program would

@@ -27,6 +27,13 @@ type Stats struct {
 	Swaps      uint64 // wear-leveling page swaps performed
 	SwapReads  uint64 // pages read by swaps
 	SwapWrites uint64 // pages written by swaps
+
+	// Journaled-mode counters (zero for a volatile FTL built with New).
+	Checkpoints   uint64 // map checkpoints written (with read-back verify)
+	IntentErases  uint64 // intent-log page reclaims
+	RolledForward uint64 // interrupted swaps completed at mount
+	RolledBack    uint64 // interrupted swaps undone at mount
+	CorrectedBits uint64 // single-bit metadata repairs (read disturb)
 }
 
 // FTL is a page-mapped translation layer over a FlipBit device.
@@ -40,6 +47,15 @@ type FTL struct {
 	// swapDelta is the wear imbalance (in erase cycles) that triggers a
 	// swap between the hottest and coldest pages.
 	swapDelta uint32
+
+	// Journaled mode (journal.go). A volatile FTL built with New keeps
+	// journaled false and maps the whole device; Open reserves the tail
+	// of the device for the journal and survives crashes.
+	journaled      bool
+	lay            layout
+	mapSeq         uint32 // sequence of the in-RAM map's last durable point
+	intentOff      int    // append offset within the intent-log page
+	checkpointSlot int    // slot holding the newest durable map
 
 	stats Stats
 }
@@ -57,7 +73,10 @@ func WithSwapDelta(d uint32) Option {
 	}
 }
 
-// New builds an FTL mapping every page of dev identity-initialised.
+// New builds an FTL mapping every page of dev identity-initialised. The map
+// lives only in RAM: a reboot forgets every swap, so New is for lifetime
+// experiments, not for data that must survive power loss — use Open for
+// that.
 func New(dev *core.Device, opts ...Option) *FTL {
 	n := dev.Flash().Spec().NumPages
 	f := &FTL{
@@ -76,8 +95,53 @@ func New(dev *core.Device, opts ...Option) *FTL {
 	return f
 }
 
+// Open mounts a journaled FTL (see journal.go): the tail of the device is
+// reserved for a spare page, an intent log and two map checkpoints, and
+// mounting recovers the translation map — finishing or rolling back a swap
+// that was interrupted by power loss. The logical space (NumPages) is
+// smaller than the device by the journal overhead.
+func Open(dev *core.Device, opts ...Option) (*FTL, error) {
+	spec := dev.Flash().Spec()
+	lay, err := computeLayout(spec.PageSize, spec.NumPages)
+	if err != nil {
+		return nil, err
+	}
+	f := &FTL{
+		dev:       dev,
+		l2p:       make([]int, lay.nl),
+		p2l:       make([]int, lay.nl),
+		swapDelta: 16,
+		journaled: true,
+		lay:       lay,
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	if err := f.recover(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
 // Stats returns the FTL's activity counters.
 func (f *FTL) Stats() Stats { return f.stats }
+
+// PageSize returns the logical page size (identical to the physical one).
+func (f *FTL) PageSize() int { return f.dev.Flash().Spec().PageSize }
+
+// NumPages returns the number of logical pages: the whole device for a
+// volatile FTL, the data region for a journaled one.
+func (f *FTL) NumPages() int { return len(f.l2p) }
+
+// ErasePage erases the physical page currently backing logical page lp.
+// Together with Read, Write, PageSize and NumPages this makes the FTL a
+// kvs backend, so the store's log can live on wear-leveled storage.
+func (f *FTL) ErasePage(lp int) error {
+	if lp < 0 || lp >= len(f.l2p) {
+		return fmt.Errorf("%w: page %d", ErrBounds, lp)
+	}
+	return f.dev.Flash().ErasePage(f.l2p[lp])
+}
 
 // MapOverheadBytes returns the RAM the translation table consumes — the
 // overhead §II-B calls prohibitive on small IoT devices.
@@ -149,13 +213,18 @@ func (f *FTL) forEachPage(laddr, n int, fn func(paddr, off, n int) error) error 
 }
 
 // levelWear swaps the just-written physical page with the coldest page
-// when their wear gap exceeds the threshold.
+// when their wear gap exceeds the threshold. A journaled FTL only levels
+// inside its data region — the journal pages are not remappable.
 func (f *FTL) levelWear(hot int) error {
 	fl := f.dev.Flash()
+	n := fl.Spec().NumPages
+	if f.journaled {
+		n = f.lay.nl
+	}
 	cold := 0
 	var coldW uint32
 	first := true
-	for p := 0; p < fl.Spec().NumPages; p++ {
+	for p := 0; p < n; p++ {
 		w := fl.Wear(p)
 		if first || w < coldW {
 			cold, coldW = p, w
@@ -164,6 +233,9 @@ func (f *FTL) levelWear(hot int) error {
 	}
 	if hot == cold || fl.Wear(hot)-coldW < f.swapDelta {
 		return nil
+	}
+	if f.journaled {
+		return f.journalSwap(hot, cold)
 	}
 	return f.swap(hot, cold)
 }

@@ -2,16 +2,24 @@
 // device — the "flash file system" family of §VII ([24,26,43,94]) reduced
 // to its essence so its costs can be measured against FlipBit's approach.
 //
-// Layout: every page begins with a 4-byte sequence number (all-ones while
-// the page is free); records append within pages:
+// Layout: every page begins with an 8-byte header — a 4-byte sequence
+// number and the CRC32 of those four bytes (all-ones while the page is
+// free); records append within pages:
 //
 //	magic(0xA5) | flags | keyLen | valLen(2, LE) | key | value | crc32(4, LE)
 //
 // The CRC covers magic..value, so a record torn by power loss is detected
-// and skipped at mount. Updates append a new record; the highest-sequence
-// copy of a key wins, and a flags bit marks tombstones. Garbage collection
-// copies a victim page's live records to the log head and erases the
-// victim — crash-safe, because the copies carry later sequence numbers.
+// and skipped at mount, and a record with a single drifted cell (read
+// disturb, stuck bit) is repaired by brute-force single-bit correction.
+// Updates append a new record; the highest-sequence copy of a key wins, and
+// a flags bit marks tombstones. Garbage collection copies a victim page's
+// live records to the log head and erases the victim — crash-safe, because
+// the copies carry later sequence numbers. Pages whose header cannot be
+// repaired are quarantined and reclaimed by an erase when space runs short.
+//
+// The store runs on any Backend: a FlipBit core device directly, or an FTL
+// mounted on one so the log rides on wear-leveled, crash-consistent
+// translation.
 package kvs
 
 import (
@@ -21,6 +29,7 @@ import (
 	"sort"
 
 	"github.com/flipbit-sim/flipbit/internal/core"
+	"github.com/flipbit-sim/flipbit/internal/flash"
 )
 
 // Record format constants.
@@ -28,11 +37,14 @@ const (
 	recMagic      = 0xA5
 	flagTombstone = 0x01
 
-	pageHeaderSize = 4
+	pageHeaderSize = 8 // seq(4) + crc32(seq)(4)
 	recHeaderSize  = 5 // magic + flags + keyLen + valLen(2)
 	crcSize        = 4
 
 	freeSeq = ^uint32(0)
+
+	// verifyRetries bounds re-append attempts after a read-back mismatch.
+	verifyRetries = 4
 )
 
 // Errors.
@@ -41,7 +53,38 @@ var (
 	ErrTooLarge = errors.New("kvs: record does not fit in a page")
 	ErrFull     = errors.New("kvs: store full even after compaction")
 	ErrBadKey   = errors.New("kvs: keys must be 1..255 bytes")
+	ErrCorrupt  = errors.New("kvs: record corrupt beyond single-bit repair")
 )
+
+// Backend is the storage surface the store runs on. core.Device satisfies
+// it through the coreBackend adapter (Open); *ftl.FTL satisfies it
+// directly (OpenOn), giving the log wear leveling underneath.
+type Backend interface {
+	Read(addr int, dst []byte) error
+	Write(addr int, data []byte) error
+	ErasePage(p int) error
+	PageSize() int
+	NumPages() int
+}
+
+// coreBackend adapts a FlipBit device to the Backend interface.
+type coreBackend struct{ dev *core.Device }
+
+func (c coreBackend) Read(addr int, dst []byte) error   { return c.dev.Read(addr, dst) }
+func (c coreBackend) Write(addr int, data []byte) error { return c.dev.Write(addr, data) }
+func (c coreBackend) ErasePage(p int) error             { return c.dev.Flash().ErasePage(p) }
+func (c coreBackend) PageSize() int                     { return c.dev.Flash().Spec().PageSize }
+func (c coreBackend) NumPages() int                     { return c.dev.Flash().Spec().NumPages }
+
+// Stats counts the store's resilience events.
+type Stats struct {
+	Compactions      uint64 // GC passes
+	TornSkipped      uint64 // records dropped at mount for unrepairable CRCs
+	CorrectedBits    uint64 // single-bit repairs (mount replay and Get)
+	VerifyFailures   uint64 // read-back mismatches after a commit (WithVerify)
+	QuarantinedPages uint64 // pages with unrepairable headers awaiting reclaim
+	RetiredPages     uint64 // pages abandoned mid-use after a verify failure
+}
 
 // location addresses the newest record for a key.
 type location struct {
@@ -54,47 +97,80 @@ type location struct {
 
 // Store is a mounted key-value store.
 type Store struct {
-	dev *core.Device
+	b  Backend
+	ps int // page size
+	np int // page count
 
 	index    map[string]location
 	pageSeq  []uint32 // sequence per page (freeSeq = free)
 	pageUsed []int    // bytes consumed per page (including header)
 	pageLive []int    // live record bytes per page
+	pageBad  []bool   // quarantined: header unrepairable, erase before reuse
 	head     int      // page currently being appended to (-1 = none)
 	nextSeq  uint32
 	inGC     bool
+	verify   bool // read back every committed record
 
-	// Stats.
-	compactions uint64
+	stats Stats
 }
 
-// Open mounts the store, scanning every page and rebuilding the index.
-// Torn records (bad CRC) and torn pages are skipped, so a store survives
-// power loss during writes.
-func Open(dev *core.Device) (*Store, error) {
+// Option configures the store at mount.
+type Option func(*Store)
+
+// WithVerify makes every committed record read back and compare: a
+// mismatch (a stuck cell under the landing zone) retires the rest of the
+// page and re-appends the record elsewhere. Costs one record read per
+// write; without it a silent stuck bit is only caught — and repaired if
+// single-bit — at the next mount or Get.
+func WithVerify() Option {
+	return func(s *Store) { s.verify = true }
+}
+
+// Open mounts the store on a FlipBit device directly.
+func Open(dev *core.Device, opts ...Option) (*Store, error) {
+	return OpenOn(coreBackend{dev}, opts...)
+}
+
+// OpenOn mounts the store on any backend, scanning every page and
+// rebuilding the index. Torn records (bad CRC) and torn pages are skipped
+// — single-bit damage is repaired in passing — so a store survives power
+// loss during writes.
+func OpenOn(b Backend, opts ...Option) (*Store, error) {
 	s := &Store{
-		dev:      dev,
-		index:    make(map[string]location),
-		pageSeq:  make([]uint32, dev.Flash().Spec().NumPages),
-		pageUsed: make([]int, dev.Flash().Spec().NumPages),
-		pageLive: make([]int, dev.Flash().Spec().NumPages),
-		head:     -1,
-		nextSeq:  0,
+		b:       b,
+		ps:      b.PageSize(),
+		np:      b.NumPages(),
+		index:   make(map[string]location),
+		head:    -1,
+		nextSeq: 0,
+	}
+	s.pageSeq = make([]uint32, s.np)
+	s.pageUsed = make([]int, s.np)
+	s.pageLive = make([]int, s.np)
+	s.pageBad = make([]bool, s.np)
+	for _, o := range opts {
+		o(s)
 	}
 	type pageInfo struct {
 		page int
 		seq  uint32
 	}
 	var used []pageInfo
-	ps := dev.Flash().Spec().PageSize
-	buf := make([]byte, ps)
-	for p := 0; p < dev.Flash().Spec().NumPages; p++ {
-		if err := dev.Read(dev.Flash().PageBase(p), buf); err != nil {
+	buf := make([]byte, s.ps)
+	for p := 0; p < s.np; p++ {
+		if err := s.b.Read(s.pageBase(p), buf); err != nil {
 			return nil, err
 		}
-		seq := leU32(buf)
+		seq, state := parsePageHeader(buf, &s.stats)
 		s.pageSeq[p] = seq
-		if seq == freeSeq {
+		switch state {
+		case pageFree:
+			continue
+		case pageQuarantined:
+			s.pageBad[p] = true
+			s.pageSeq[p] = freeSeq // not addressable; reclaimed by erase
+			s.pageUsed[p] = s.ps
+			s.stats.QuarantinedPages++
 			continue
 		}
 		used = append(used, pageInfo{p, seq})
@@ -105,7 +181,7 @@ func Open(dev *core.Device) (*Store, error) {
 	// Replay pages in sequence order so newer records win.
 	sort.Slice(used, func(i, j int) bool { return used[i].seq < used[j].seq })
 	for _, pi := range used {
-		if err := dev.Read(dev.Flash().PageBase(pi.page), buf); err != nil {
+		if err := s.b.Read(s.pageBase(pi.page), buf); err != nil {
 			return nil, err
 		}
 		s.replayPage(pi.page, pi.seq, buf)
@@ -113,34 +189,67 @@ func Open(dev *core.Device) (*Store, error) {
 	if len(used) > 0 {
 		last := used[len(used)-1]
 		// Resume appending into the newest page if it has room.
-		if s.pageUsed[last.page] < ps {
+		if s.pageUsed[last.page] < s.ps {
 			s.head = last.page
 		}
 	}
 	return s, nil
 }
 
+// Page header states.
+const (
+	pageFree = iota
+	pageInUse
+	pageQuarantined
+)
+
+// parsePageHeader classifies a page by its 8-byte header, repairing a
+// single drifted bit in passing.
+func parsePageHeader(buf []byte, st *Stats) (uint32, int) {
+	hdr := buf[:pageHeaderSize]
+	if allFF(hdr) {
+		return freeSeq, pageFree
+	}
+	if crc32.ChecksumIEEE(hdr[:4]) != leU32(hdr[4:]) {
+		if n, ok := correctSingleBit(hdr, 4); ok {
+			st.CorrectedBits += uint64(n)
+		} else {
+			return freeSeq, pageQuarantined
+		}
+	}
+	seq := leU32(hdr)
+	if seq == freeSeq {
+		// A "free" sequence with a valid CRC cannot be written by the
+		// store; treat it as damage.
+		return freeSeq, pageQuarantined
+	}
+	return seq, pageInUse
+}
+
+// pageBase returns the backend address of page p.
+func (s *Store) pageBase(p int) int { return p * s.ps }
+
 // replayPage parses the records of one page into the index.
 func (s *Store) replayPage(page int, seq uint32, buf []byte) {
 	ps := len(buf)
 	off := pageHeaderSize
 	for off+recHeaderSize+crcSize <= ps {
-		if buf[off] != recMagic {
-			break // free space or torn write
+		size, ok := s.checkRecord(buf, off)
+		if !ok {
+			if !allFF(buf[off:min(off+recHeaderSize+crcSize, ps)]) {
+				// Torn write or unrepairable damage: the tail is
+				// unusable. Appending over its cleared bits would force
+				// a read-modify-write erase of the whole page — a crash
+				// during that erase destroys every committed record on
+				// it — so the tail is retired instead.
+				s.stats.TornSkipped++
+				off = ps
+				s.stats.RetiredPages++
+			}
+			break // free space from here on
 		}
 		flags := buf[off+1]
 		keyLen := int(buf[off+2])
-		valLen := int(buf[off+3]) | int(buf[off+4])<<8
-		size := recHeaderSize + keyLen + valLen + crcSize
-		if keyLen == 0 || off+size > ps {
-			break // corrupt header; stop parsing this page
-		}
-		body := buf[off : off+recHeaderSize+keyLen+valLen]
-		want := leU32(buf[off+recHeaderSize+keyLen+valLen:])
-		if crc32.ChecksumIEEE(body) != want {
-			// Torn record: everything after it is unreliable.
-			break
-		}
 		key := string(buf[off+recHeaderSize : off+recHeaderSize+keyLen])
 		s.supersede(key)
 		loc := location{seq: seq, page: page, off: off, size: size, dead: flags&flagTombstone != 0}
@@ -155,6 +264,65 @@ func (s *Store) replayPage(page int, seq uint32, buf []byte) {
 	s.pageUsed[page] = off
 }
 
+// checkRecord validates (and if needed single-bit-repairs, in buf) the
+// record at off, returning its size. Returns ok=false when the bytes are
+// free space or damaged beyond repair.
+func (s *Store) checkRecord(buf []byte, off int) (int, bool) {
+	ps := len(buf)
+	size, ok := recordSize(buf, off, ps)
+	if ok && recordCRCValid(buf, off, size) {
+		return size, true
+	}
+	// The damage may be a single drifted cell anywhere in the record —
+	// including inside the length fields, which is why the repair must
+	// re-derive the size after each candidate flip.
+	if size, ok := s.repairRecord(buf, off); ok {
+		return size, true
+	}
+	return 0, false
+}
+
+// recordSize reads the record framing at off; ok=false if the header is
+// not a plausible record.
+func recordSize(buf []byte, off, ps int) (int, bool) {
+	if buf[off] != recMagic {
+		return 0, false
+	}
+	keyLen := int(buf[off+2])
+	valLen := int(buf[off+3]) | int(buf[off+4])<<8
+	size := recHeaderSize + keyLen + valLen + crcSize
+	if keyLen == 0 || off+size > ps {
+		return 0, false
+	}
+	return size, true
+}
+
+// recordCRCValid checks the trailer CRC of the record at [off, off+size).
+func recordCRCValid(buf []byte, off, size int) bool {
+	body := buf[off : off+size-crcSize]
+	return crc32.ChecksumIEEE(body) == leU32(buf[off+size-crcSize:])
+}
+
+// repairRecord brute-forces a single-bit repair of the record starting at
+// off: each candidate flip must yield a consistent frame whose CRC passes.
+func (s *Store) repairRecord(buf []byte, off int) (int, bool) {
+	ps := len(buf)
+	// A flipped bit can sit anywhere in the record, whose true extent is
+	// unknown when the length fields themselves are suspect. Bound the
+	// search to the rest of the page.
+	for i := off; i < ps; i++ {
+		for bit := 0; bit < 8; bit++ {
+			buf[i] ^= 1 << uint(bit)
+			if size, ok := recordSize(buf, off, ps); ok && i < off+size && recordCRCValid(buf, off, size) {
+				s.stats.CorrectedBits++
+				return size, true
+			}
+			buf[i] ^= 1 << uint(bit)
+		}
+	}
+	return 0, false
+}
+
 // supersede removes the previous copy of key (if any) from its page's
 // must-preserve accounting.
 func (s *Store) supersede(key string) {
@@ -163,21 +331,39 @@ func (s *Store) supersede(key string) {
 	}
 }
 
-// Get returns the value stored for key.
+// Get returns the value stored for key, verifying the record CRC and
+// repairing a single drifted bit in the returned copy.
 func (s *Store) Get(key string) ([]byte, error) {
 	loc, ok := s.index[key]
 	if !ok || loc.dead {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	rec := make([]byte, loc.size)
-	base := s.dev.Flash().PageBase(loc.page)
-	if err := s.dev.Read(base+loc.off, rec); err != nil {
+	if err := s.b.Read(s.pageBase(loc.page)+loc.off, rec); err != nil {
 		return nil, err
+	}
+	repaired := false
+	if !recordCRCValid(rec, 0, len(rec)) {
+		if _, ok := correctSingleBit(rec, len(rec)-crcSize); ok {
+			s.stats.CorrectedBits++
+			repaired = true
+		} else {
+			return nil, fmt.Errorf("%w: %q", ErrCorrupt, key)
+		}
 	}
 	keyLen := int(rec[2])
 	valLen := int(rec[3]) | int(rec[4])<<8
+	if recHeaderSize+keyLen+valLen+crcSize != len(rec) {
+		return nil, fmt.Errorf("%w: %q", ErrCorrupt, key)
+	}
 	val := make([]byte, valLen)
 	copy(val, rec[recHeaderSize+keyLen:recHeaderSize+keyLen+valLen])
+	if repaired && !s.inGC {
+		// Read repair: the on-flash copy still carries the drifted cell,
+		// and a second drift in the same record would be beyond repair.
+		// Re-appending moves the data to a clean copy; best-effort.
+		_ = s.append(key, val, 0)
+	}
 	return val, nil
 }
 
@@ -211,17 +397,19 @@ func (s *Store) Keys() []string {
 func (s *Store) Len() int { return len(s.Keys()) }
 
 // Compactions returns how many GC passes have run.
-func (s *Store) Compactions() uint64 { return s.compactions }
+func (s *Store) Compactions() uint64 { return s.stats.Compactions }
+
+// Stats returns the store's resilience counters.
+func (s *Store) Stats() Stats { return s.stats }
 
 // append encodes and writes one record, garbage collecting as needed.
 func (s *Store) append(key string, val []byte, flags byte) error {
 	if len(key) == 0 || len(key) > 255 {
 		return fmt.Errorf("%w: %d bytes", ErrBadKey, len(key))
 	}
-	ps := s.dev.Flash().Spec().PageSize
 	size := recHeaderSize + len(key) + len(val) + crcSize
-	if pageHeaderSize+size > ps {
-		return fmt.Errorf("%w: %d bytes in a %d-byte page", ErrTooLarge, size, ps)
+	if pageHeaderSize+size > s.ps {
+		return fmt.Errorf("%w: %d bytes in a %d-byte page", ErrTooLarge, size, s.ps)
 	}
 	rec := make([]byte, size)
 	rec[0] = recMagic
@@ -233,38 +421,55 @@ func (s *Store) append(key string, val []byte, flags byte) error {
 	copy(rec[recHeaderSize+len(key):], val)
 	putLEU32(rec[recHeaderSize+len(key)+len(val):], crc32.ChecksumIEEE(rec[:recHeaderSize+len(key)+len(val)]))
 
-	for attempt := 0; attempt < 2; attempt++ {
+	gcBudget := 1
+	for attempt := 0; attempt < 2+verifyRetries; attempt++ {
 		page, off, err := s.reserve(size)
+		if errors.Is(err, ErrFull) {
+			if gcBudget == 0 || s.inGC {
+				return err
+			}
+			gcBudget--
+			if err := s.gc(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		err = s.commit(key, page, off, rec, flags)
 		if err == nil {
-			return s.commit(key, page, off, rec, flags)
+			return nil
 		}
-		if !errors.Is(err, ErrFull) || attempt == 1 || s.inGC {
+		if !errors.Is(err, errVerifyMismatch) {
 			return err
 		}
-		if err := s.gc(); err != nil {
-			return err
-		}
+		// The landing zone has a stuck cell: the page tail is retired
+		// (commit did that); try again on fresh space.
 	}
 	return ErrFull
 }
 
+// errVerifyMismatch is the internal signal that a committed record did not
+// read back correctly.
+var errVerifyMismatch = errors.New("kvs: record read-back mismatch")
+
 // reserve finds space for a record, opening a fresh page when needed.
 // One free page is always held back as the garbage collector's copy
-// target; only GC itself may consume it.
+// target; only GC itself may consume it. When free pages run short,
+// quarantined pages are reclaimed by erasing them.
 func (s *Store) reserve(size int) (page, off int, err error) {
-	ps := s.dev.Flash().Spec().PageSize
-	if s.head >= 0 && s.pageSeq[s.head] != freeSeq && s.pageUsed[s.head]+size <= ps {
+	if s.head >= 0 && s.pageSeq[s.head] != freeSeq && s.pageUsed[s.head]+size <= s.ps {
 		return s.head, s.pageUsed[s.head], nil
-	}
-	var free []int
-	for p := range s.pageSeq {
-		if s.pageSeq[p] == freeSeq {
-			free = append(free, p)
-		}
 	}
 	minFree := 2
 	if s.inGC {
 		minFree = 1
+	}
+	free := s.freePages()
+	if len(free) < minFree {
+		s.reclaimQuarantined()
+		free = s.freePages()
 	}
 	if len(free) < minFree {
 		return 0, 0, ErrFull
@@ -272,29 +477,133 @@ func (s *Store) reserve(size int) (page, off int, err error) {
 	if err := s.openPage(free[0]); err != nil {
 		return 0, 0, err
 	}
-	return free[0], s.pageUsed[free[0]], nil
+	return s.head, s.pageUsed[s.head], nil
 }
 
-// openPage stamps a free page with the next sequence number.
+// freePages lists usable free pages.
+func (s *Store) freePages() []int {
+	var free []int
+	for p := range s.pageSeq {
+		if s.pageSeq[p] == freeSeq && !s.pageBad[p] {
+			free = append(free, p)
+		}
+	}
+	return free
+}
+
+// reclaimQuarantined erases quarantined pages back into the free pool. A
+// page whose erase fails (worn out, or interrupted) stays quarantined.
+func (s *Store) reclaimQuarantined() {
+	for p := range s.pageBad {
+		if !s.pageBad[p] {
+			continue
+		}
+		if err := s.b.ErasePage(p); err != nil {
+			continue
+		}
+		s.pageBad[p] = false
+		s.pageSeq[p] = freeSeq
+		s.pageUsed[p] = 0
+		s.pageLive[p] = 0
+		s.stats.QuarantinedPages--
+	}
+}
+
+// openPage stamps a free page with the next sequence number. Under
+// WithVerify a header that does not read back intact quarantines the page
+// and tries the next free one.
 func (s *Store) openPage(p int) error {
-	var hdr [pageHeaderSize]byte
-	putLEU32(hdr[:], s.nextSeq)
-	if err := s.dev.Write(s.dev.Flash().PageBase(p), hdr[:]); err != nil {
+	free := s.freePages()
+	for _, cand := range free {
+		if cand < p {
+			continue
+		}
+		var hdr [pageHeaderSize]byte
+		putLEU32(hdr[:], s.nextSeq)
+		putLEU32(hdr[4:], crc32.ChecksumIEEE(hdr[:4]))
+		// The header zone must be pristine for the same reason commit
+		// prechecks its landing zone: a cleared cell would force a
+		// read-modify-write erase. A page that is not cleanly writable
+		// is quarantined and the next candidate tried.
+		var zone [pageHeaderSize]byte
+		if err := s.b.Read(s.pageBase(cand), zone[:]); err != nil {
+			return err
+		}
+		if !allFF(zone[:]) {
+			s.quarantineFree(cand)
+			continue
+		}
+		if err := s.b.Write(s.pageBase(cand), hdr[:]); err != nil {
+			if errors.Is(err, flash.ErrNeedsErase) {
+				s.quarantineFree(cand)
+				continue
+			}
+			return err
+		}
+		if s.verify {
+			var got [pageHeaderSize]byte
+			if err := s.b.Read(s.pageBase(cand), got[:]); err != nil {
+				return err
+			}
+			if got != hdr {
+				s.quarantineFree(cand)
+				continue
+			}
+		}
+		s.pageSeq[cand] = s.nextSeq
+		s.pageUsed[cand] = pageHeaderSize
+		s.pageLive[cand] = 0
+		s.nextSeq++
+		s.head = cand
+		return nil
+	}
+	return ErrFull
+}
+
+// commit writes the record bytes and updates the index. Under WithVerify
+// the landing zone is checked to be erased first — a stuck cell there would
+// force a read-modify-write erase of the whole page, putting the page's
+// committed records at risk — and the record is read back after the write;
+// either failure retires the rest of the page and reports errVerifyMismatch
+// so append retries on fresh space.
+func (s *Store) commit(key string, page, off int, rec []byte, flags byte) error {
+	base := s.pageBase(page)
+	// Landing-zone precheck, always on: a cleared cell under the landing
+	// zone (read disturb, stuck bit, torn remnant) would make the write
+	// fall back to a read-modify-write erase of the whole page, and a
+	// power loss during that erase destroys every committed record on it.
+	// The store never erases in place through the write path.
+	zone := make([]byte, len(rec))
+	if err := s.b.Read(base+off, zone); err != nil {
 		return err
 	}
-	s.pageSeq[p] = s.nextSeq
-	s.pageUsed[p] = pageHeaderSize
-	s.pageLive[p] = 0
-	s.nextSeq++
-	s.head = p
-	return nil
-}
-
-// commit writes the record bytes and updates the index.
-func (s *Store) commit(key string, page, off int, rec []byte, flags byte) error {
-	base := s.dev.Flash().PageBase(page)
-	if err := s.dev.Write(base+off, rec); err != nil {
+	if !allFF(zone) {
+		s.stats.VerifyFailures++
+		s.retireTail(page)
+		return errVerifyMismatch
+	}
+	if err := s.b.Write(base+off, rec); err != nil {
+		if errors.Is(err, flash.ErrNeedsErase) {
+			// A silently stuck cell under the landing zone: abandon
+			// the page tail rather than erase over live records.
+			s.stats.VerifyFailures++
+			s.retireTail(page)
+			return errVerifyMismatch
+		}
 		return err
+	}
+	if s.verify {
+		got := make([]byte, len(rec))
+		if err := s.b.Read(base+off, got); err != nil {
+			return err
+		}
+		for i := range rec {
+			if got[i] != rec[i] {
+				s.stats.VerifyFailures++
+				s.retireTail(page)
+				return errVerifyMismatch
+			}
+		}
 	}
 	s.pageUsed[page] = off + len(rec)
 	s.supersede(key)
@@ -304,6 +613,29 @@ func (s *Store) commit(key string, page, off int, rec []byte, flags byte) error 
 	}
 	s.pageLive[page] += len(rec)
 	return nil
+}
+
+// quarantineFree takes a free page out of circulation after it failed to
+// open cleanly. The sequence number is burned: a partially landed header
+// might already carry it, and replay must never see the same seq twice.
+func (s *Store) quarantineFree(p int) {
+	s.stats.VerifyFailures++
+	s.stats.QuarantinedPages++
+	s.pageBad[p] = true
+	s.pageUsed[p] = s.ps
+	s.nextSeq++
+}
+
+// retireTail abandons the unused remainder of a page after damage was
+// found in it. The damaged bytes would poison everything appended after
+// them (mount replay stops at a bad CRC), so the tail is unusable; the
+// page's committed records stay valid and are recycled by GC later.
+func (s *Store) retireTail(page int) {
+	s.stats.RetiredPages++
+	s.pageUsed[page] = s.ps
+	if s.head == page {
+		s.head = -1
+	}
 }
 
 // gc erases the page with the least live data after copying its live
@@ -350,7 +682,7 @@ func (s *Store) gc() error {
 			return err
 		}
 	}
-	if err := s.dev.Flash().ErasePage(victim); err != nil {
+	if err := s.b.ErasePage(victim); err != nil {
 		return err
 	}
 	s.pageSeq[victim] = freeSeq
@@ -359,8 +691,34 @@ func (s *Store) gc() error {
 	if s.head == victim {
 		s.head = -1
 	}
-	s.compactions++
+	s.stats.Compactions++
 	return nil
+}
+
+// correctSingleBit brute-forces a single-bit repair of a CRC-protected
+// buffer whose CRC32 trailer starts at crcOff: flip each bit (including
+// the stored CRC's own) and keep the flip that makes the checksum pass.
+func correctSingleBit(buf []byte, crcOff int) (int, bool) {
+	for i := range buf {
+		for bit := 0; bit < 8; bit++ {
+			buf[i] ^= 1 << uint(bit)
+			if crc32.ChecksumIEEE(buf[:crcOff]) == leU32(buf[crcOff:]) {
+				return 1, true
+			}
+			buf[i] ^= 1 << uint(bit)
+		}
+	}
+	return 0, false
+}
+
+// allFF reports whether every byte is erased.
+func allFF(b []byte) bool {
+	for _, v := range b {
+		if v != 0xFF {
+			return false
+		}
+	}
+	return true
 }
 
 func leU32(b []byte) uint32 {

@@ -255,7 +255,7 @@ func TestErasesAmortized(t *testing.T) {
 		}
 	}
 	erases := dev.Flash().Stats().Erases
-	if erases*4 > updates {
+	if erases*3 > updates {
 		t.Errorf("%d erases for %d updates; log structure not amortizing", erases, updates)
 	}
 }
