@@ -23,21 +23,38 @@ import (
 	"github.com/flipbit-sim/flipbit/internal/faultcampaign"
 )
 
+// Flags live on their own FlagSet (not flag.CommandLine) so the usage
+// golden test sees exactly the program's flags, not the test binary's.
+var (
+	flags     = flag.NewFlagSet("flipbit", flag.ExitOnError)
+	quick     = flags.Bool("quick", false, "trim workloads for a fast run (shapes preserved)")
+	csvDir    = flags.String("csv", "", "also write each table as <dir>/<id>.csv")
+	benchJSON = flags.String("benchjson", "", "write the writepath JSON report to this path, plus BENCH_crashcampaign.json and BENCH_lifetime.json next to it")
+	faults    = flags.Bool("faults", false, "run a fault-injection campaign against the key-value store and print its outcome")
+	seed      = flags.Uint64("seed", 1, "campaign seed for -faults (same seed replays byte-identically)")
+	cycles    = flags.Int("cycles", 1000, "crash/reboot cycles for -faults")
+	onFTL     = flags.Bool("ftl", false, "run the -faults campaign through the journaled FTL with read-back verification")
+	scrub     = flags.Bool("scrub", false, "arm the background scrubber (and a 2-page spare pool with -ftl) during the -faults campaign")
+	lifetime  = flags.Bool("lifetime", false, "run the endurance lifetime experiment and print writes-to-first-data-loss per configuration")
+)
+
 func main() {
-	quick := flag.Bool("quick", false, "trim workloads for a fast run (shapes preserved)")
-	csvDir := flag.String("csv", "", "also write each table as <dir>/<id>.csv")
-	benchJSON := flag.String("benchjson", "", "write the writepath JSON report to this path, plus BENCH_crashcampaign.json next to it")
-	faults := flag.Bool("faults", false, "run a fault-injection campaign against the key-value store and print its outcome")
-	seed := flag.Uint64("seed", 1, "campaign seed for -faults (same seed replays byte-identically)")
-	cycles := flag.Int("cycles", 1000, "crash/reboot cycles for -faults")
-	onFTL := flag.Bool("ftl", false, "run the -faults campaign through the journaled FTL with read-back verification")
-	flag.Usage = usage
-	flag.Parse()
-	args := flag.Args()
+	flags.Usage = usage
+	_ = flags.Parse(os.Args[1:])
+	args := flags.Args()
 	cfg := bench.Config{Quick: *quick}
 
+	if *lifetime {
+		if err := runLifetime(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "flipbit: lifetime: %v\n", err)
+			os.Exit(1)
+		}
+		if len(args) == 0 && *benchJSON == "" && !*faults {
+			return
+		}
+	}
 	if *faults {
-		if err := runFaults(*seed, *cycles, *onFTL); err != nil {
+		if err := runFaults(*seed, *cycles, *onFTL, *scrub); err != nil {
 			fmt.Fprintf(os.Stderr, "flipbit: faults: %v\n", err)
 			os.Exit(1)
 		}
@@ -116,6 +133,28 @@ func writeBenchJSON(path string, cfg bench.Config) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", ccPath)
+
+	lt, err := bench.RunLifetime(cfg)
+	if err != nil {
+		return err
+	}
+	ltPath := filepath.Join(filepath.Dir(path), "BENCH_lifetime.json")
+	if err := writeJSONFile(ltPath, lt.WriteJSON); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", ltPath)
+	return nil
+}
+
+// runLifetime runs the endurance lifetime experiment and renders its table.
+func runLifetime(cfg bench.Config) error {
+	start := time.Now()
+	tab, err := bench.ExpLifetime(cfg)
+	if err != nil {
+		return err
+	}
+	tab.Render(os.Stdout)
+	fmt.Printf("  (lifetime in %v)\n\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
@@ -131,8 +170,11 @@ func writeJSONFile(path string, render func(io.Writer) error) error {
 // runFaults runs one seeded campaign and prints a human-readable summary.
 // A non-zero violation count is a hard failure: it means a committed key
 // was lost or settled to a torn value after a crash.
-func runFaults(seed uint64, cycles int, onFTL bool) error {
-	cfg := faultcampaign.Config{Seed: seed, Cycles: cycles, UseFTL: onFTL, Verify: onFTL}
+func runFaults(seed uint64, cycles int, onFTL, scrub bool) error {
+	cfg := faultcampaign.Config{Seed: seed, Cycles: cycles, UseFTL: onFTL, Verify: onFTL, Scrub: scrub}
+	if scrub && onFTL {
+		cfg.Spares = 2
+	}
 	start := time.Now()
 	res, err := faultcampaign.Run(cfg)
 	if err != nil {
@@ -141,6 +183,9 @@ func runFaults(seed uint64, cycles int, onFTL bool) error {
 	stack := "kvs on raw flash"
 	if onFTL {
 		stack = "kvs on journaled ftl (verify on)"
+	}
+	if scrub {
+		stack += " + scrubber"
 	}
 	fmt.Printf("fault campaign: seed %#x, %d cycles against %s (%v host time)\n",
 		seed, res.Cycles, stack, time.Since(start).Round(time.Millisecond))
@@ -151,6 +196,10 @@ func runFaults(seed uint64, cycles int, onFTL bool) error {
 		res.MeanRecoveryBusy.Round(time.Microsecond), res.RecoveryEnergy)
 	fmt.Printf("  wasted pages         %d (retired + quarantined), %d bits corrected, %d torn records skipped\n",
 		res.WastedPages, res.CorrectedBits, res.TornSkipped)
+	if scrub {
+		fmt.Printf("  scrubber             %d sampled, %d absorbed, %d refreshed, %d retired\n",
+			res.ScrubSampled, res.ScrubAbsorbed, res.ScrubRefreshed, res.ScrubRetired)
+	}
 	fmt.Printf("  fingerprint          %016x (replays byte-identically from the seed)\n", res.Fingerprint)
 	if res.ViolationCount != 0 {
 		fmt.Printf("  VIOLATIONS           %d\n", res.ViolationCount)
@@ -176,7 +225,19 @@ func writeCSV(dir, id string, tab *bench.Table) error {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: flipbit [-quick] <experiment-id>... | all | list
+	printUsage(os.Stderr)
+}
+
+// printUsage writes the full help text — header plus flag defaults — to w.
+// Kept separate from usage() so the golden test can pin the output.
+func printUsage(w io.Writer) {
+	fmt.Fprint(w, usageHeader)
+	flags.SetOutput(w)
+	flags.PrintDefaults()
+	flags.SetOutput(os.Stderr)
+}
+
+const usageHeader = `usage: flipbit [-quick] <experiment-id>... | all | list
 
 Regenerates the paper's tables and figures. Examples:
   flipbit list
@@ -184,6 +245,7 @@ Regenerates the paper's tables and figures. Examples:
   flipbit -quick all
   flipbit -faults -seed 7 -cycles 2000        # crash/reboot campaign, raw flash
   flipbit -faults -ftl                        # same through the journaled FTL
-`)
-	flag.PrintDefaults()
-}
+  flipbit -faults -ftl -scrub                 # same with the scrubber armed
+  flipbit -lifetime                           # writes-to-first-data-loss comparison
+  flipbit -benchjson BENCH_writepath.json     # machine-readable bench artifacts
+`

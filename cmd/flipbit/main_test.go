@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestUsageGolden pins the -h output. The help text is user interface:
+// every flag must appear, and the examples block must stay in sync with the
+// flags that exist. Regenerate with:
+//
+//	go test ./cmd/flipbit -run TestUsageGolden -update
+var update = flag.Bool("update", false, "rewrite testdata/usage.golden")
+
+// Note: the program's flags live on their own FlagSet (`flags` in main.go),
+// so the test binary's -test.* flags can never leak into the golden.
+
+func TestUsageGolden(t *testing.T) {
+	var buf bytes.Buffer
+	printUsage(&buf)
+
+	const golden = "testdata/usage.golden"
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("usage drifted from golden (run with -update after reviewing):\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+
+	// Structural check independent of the golden: every registered flag is
+	// mentioned in the help text, so nobody adds a flag without help.
+	flags.VisitAll(func(f *flag.Flag) {
+		if !strings.Contains(buf.String(), "-"+f.Name) {
+			t.Errorf("flag -%s missing from usage output", f.Name)
+		}
+	})
+}

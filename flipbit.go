@@ -39,6 +39,7 @@ import (
 	"github.com/flipbit-sim/flipbit/internal/core"
 	"github.com/flipbit-sim/flipbit/internal/energy"
 	"github.com/flipbit-sim/flipbit/internal/flash"
+	"github.com/flipbit-sim/flipbit/internal/ftl"
 )
 
 // Device is a flash chip with the FlipBit controller attached. See
@@ -221,3 +222,88 @@ const (
 // CortexM0Plus returns the reference MCU power model used throughout the
 // paper's energy comparisons (2.275 mW @ 48 MHz).
 func CortexM0Plus() energy.CPUModel { return energy.CortexM0Plus() }
+
+// --- Endurance management: health, scrubbing, retirement ---
+
+// HealthReport is a device-wide endurance snapshot: per-bank wear
+// histograms, dead/retired page counts, and drifted-cell totals.
+type HealthReport = flash.HealthReport
+
+// BankHealth is one bank's slice of a HealthReport.
+type BankHealth = flash.BankHealth
+
+// Additional operation kinds emitted on the op-event bus by the
+// endurance-management layer.
+const (
+	OpScrub  = flash.OpScrub
+	OpRetire = flash.OpRetire
+)
+
+// ErrExactDegraded is returned by a health-gated device (WithHealthGate)
+// when exact data would land on a degraded page — or when the erase an
+// exact commit needs would push a page past its endurance rating.
+// Approximate writes keep flowing onto degraded pages.
+var ErrExactDegraded = core.ErrExactDegraded
+
+// ErrPageRetired is returned by programs and erases against a page the
+// management layer has taken out of service; reads still work.
+var ErrPageRetired = flash.ErrPageRetired
+
+// ErrWornOut is returned once a page has exceeded its endurance and can no
+// longer be erased reliably.
+var ErrWornOut = flash.ErrWornOut
+
+// ScrubConfig parameterises the background scrubber: tick rate, pages per
+// tick, the stuck-cell budget approximatable pages may absorb, and optional
+// Refresh/Retire hooks for managed (FTL) devices.
+type ScrubConfig = core.ScrubConfig
+
+// Scrubber is the background scrub engine: one rate-limited goroutine per
+// bank sampling drift and refreshing, absorbing, or retiring pages.
+type Scrubber = core.Scrubber
+
+// ScrubStats counts scrubber decisions.
+type ScrubStats = core.ScrubStats
+
+// WithHealthGate makes the commit path consult page health: exact data is
+// refused on degraded (or about-to-die) pages with ErrExactDegraded, while
+// approximate data keeps flowing onto them — graceful degradation instead
+// of silent corruption.
+func WithHealthGate() Option { return core.WithHealthGate() }
+
+// WithScrubber builds a background scrubber over the device at
+// construction; retrieve it with Device.Scrubber and call Start.
+func WithScrubber(cfg ScrubConfig) Option { return core.WithScrubber(cfg) }
+
+// NewScrubber builds a stopped scrubber over an existing device.
+func NewScrubber(d *Device, cfg ScrubConfig) *Scrubber { return core.NewScrubber(d, cfg) }
+
+// --- Wear-leveling FTL with a spare pool ---
+
+// FTL is a page-mapped flash translation layer providing wear-leveling,
+// bad-page retirement onto a spare pool, and crash-consistent scrub
+// refresh. Construct with NewFTL (RAM-only map) or OpenFTL (journaled,
+// remounts after power loss).
+type FTL = ftl.FTL
+
+// FTLOption configures an FTL at construction.
+type FTLOption = ftl.Option
+
+// FTLHealthReport extends the flash HealthReport with the FTL's spare-pool
+// accounting.
+type FTLHealthReport = ftl.HealthReport
+
+// NewFTL builds a volatile (RAM-mapped) wear-leveling FTL over dev.
+func NewFTL(dev *Device, opts ...FTLOption) *FTL { return ftl.New(dev, opts...) }
+
+// OpenFTL mounts the journaled FTL on dev, recovering the translation map,
+// any in-flight swap or refresh, and the retirement remap from flash.
+func OpenFTL(dev *Device, opts ...FTLOption) (*FTL, error) { return ftl.Open(dev, opts...) }
+
+// WithSparePages reserves n physical pages as a retirement pool: worn or
+// health-refused pages are remapped onto spares with their data intact.
+func WithSparePages(n int) FTLOption { return ftl.WithSpares(n) }
+
+// WithSwapDelta sets the wear gap (in erase cycles) that triggers a
+// hot/cold leveling swap.
+func WithSwapDelta(d uint32) FTLOption { return ftl.WithSwapDelta(d) }

@@ -1,6 +1,8 @@
 package flipbit_test
 
 import (
+	"errors"
+
 	"testing"
 
 	flipbit "github.com/flipbit-sim/flipbit"
@@ -67,6 +69,69 @@ func TestPublicCPUModel(t *testing.T) {
 	m := flipbit.CortexM0Plus()
 	if m.Power <= 0 || m.Clock != 48e6 {
 		t.Errorf("unexpected M0+ model: %+v", m)
+	}
+}
+
+// TestPublicEnduranceManagement drives the endurance façade end to end: a
+// tiny health-gated device under a wear-leveling FTL with spares, scrubbed
+// synchronously, with health reported at both layers.
+func TestPublicEnduranceManagement(t *testing.T) {
+	spec := flipbit.DefaultSpec()
+	spec.PageSize = 64
+	spec.NumPages = 16
+	spec.Banks = 1
+	spec.EnduranceCycles = 6
+
+	var retires int
+	dev, err := flipbit.NewDevice(spec, flipbit.WithHealthGate(),
+		flipbit.WithObserver(flipbit.ObserverFunc(func(e flipbit.OpEvent) {
+			if e.Kind == flipbit.OpRetire {
+				retires++
+			}
+		})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := flipbit.NewFTL(dev, flipbit.WithSparePages(2), flipbit.WithSwapDelta(4))
+	scr := flipbit.NewScrubber(dev, flipbit.ScrubConfig{
+		MaxStuck: 1,
+		Refresh:  f.RefreshPage,
+		Retire:   f.RetirePage,
+	})
+
+	rec := make([]byte, 64)
+	for i := 0; i < 200; i++ {
+		for j := range rec {
+			rec[j] = byte(i + j)
+		}
+		if err := f.Write(0, rec); err != nil {
+			break // spare pool exhausted: clean end of service
+		}
+		got := make([]byte, len(rec))
+		if err := f.Read(0, got); err != nil {
+			t.Fatalf("write %d: read back: %v", i, err)
+		}
+		for j := range got {
+			if got[j] != rec[j] {
+				t.Fatalf("write %d: acked data corrupted at byte %d", i, j)
+			}
+		}
+		scr.ScrubBank(0, 1)
+	}
+
+	h := dev.Flash().Health()
+	if h.MaxWear == 0 || len(h.Banks) != 1 {
+		t.Errorf("flash health: %+v", h)
+	}
+	fh := f.Health()
+	if fh.SparesTotal != 2 || fh.RetiredData == 0 {
+		t.Errorf("ftl health: %+v", fh)
+	}
+	if retires == 0 {
+		t.Error("no OpRetire event reached the op bus")
+	}
+	if errors.Is(f.Write(0, rec), flipbit.ErrExactDegraded) == (f.SparesRemaining() > 0) {
+		t.Errorf("degradation contract: spares=%d", f.SparesRemaining())
 	}
 }
 

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedArtifacts validates every BENCH_*.json checked in at the repo
+// root against its schema and invariants. CI runs this so a hand-edited or
+// stale artifact cannot land silently.
+func TestCommittedArtifacts(t *testing.T) {
+	for _, kind := range ArtifactKinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			path := filepath.Join("..", "..", fmt.Sprintf("BENCH_%s.json", kind))
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("artifact missing: %v", err)
+			}
+			if err := ValidateArtifact(kind, data); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestValidateArtifactRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		kind string
+		doc  string
+	}{
+		{"unknown kind", "nope", `{}`},
+		{"bad json", "lifetime", `{`},
+		{"empty rows", "lifetime", `{"seed":1,"endurance_cycles":40,"page_size":64,"num_pages":24,"spares":4,"rows":[]}`},
+		{"lifetime missing baseline", "lifetime",
+			`{"seed":1,"endurance_cycles":40,"page_size":64,"num_pages":24,"spares":4,
+			  "rows":[{"config":"managed","writes_to_first_loss":80,"data_lost":false,"lifetime_x":2,"erases":1,"max_wear":1}]}`},
+		{"lifetime ratio below 2x", "lifetime",
+			`{"seed":1,"endurance_cycles":40,"page_size":64,"num_pages":24,"spares":4,
+			  "rows":[{"config":"unmanaged","writes_to_first_loss":40,"data_lost":true,"lifetime_x":1,"erases":1,"max_wear":1},
+			          {"config":"managed","writes_to_first_loss":60,"data_lost":false,"lifetime_x":1.5,"erases":1,"max_wear":1}]}`},
+		{"lifetime managed lost data", "lifetime",
+			`{"seed":1,"endurance_cycles":40,"page_size":64,"num_pages":24,"spares":4,
+			  "rows":[{"config":"unmanaged","writes_to_first_loss":40,"data_lost":true,"lifetime_x":1,"erases":1,"max_wear":1},
+			          {"config":"managed","writes_to_first_loss":100,"data_lost":true,"lifetime_x":2.5,"erases":1,"max_wear":1}]}`},
+		{"campaign with violations", "crashcampaign",
+			`{"seed":1,"rows":[{"scenario":"s","cycles":10,"crashes":3,"faults_fired":2,"violation_count":1,"fingerprint":7}]}`},
+		{"campaign never crashed", "crashcampaign",
+			`{"seed":1,"rows":[{"scenario":"s","cycles":10,"crashes":0,"faults_fired":0,"violation_count":0,"fingerprint":7}]}`},
+		{"writepath below 2x at banks", "writepath",
+			`{"banks":4,"rows":[{"workers":1,"ops":10,"device_ops_per_sec":1,"speedup_vs_1_worker":1},
+			                    {"workers":4,"ops":10,"device_ops_per_sec":1.5,"speedup_vs_1_worker":1.5}]}`},
+	}
+	for _, tc := range cases {
+		if err := ValidateArtifact(tc.kind, []byte(tc.doc)); err == nil {
+			t.Errorf("%s: validated but should have been rejected", tc.name)
+		}
+	}
+}

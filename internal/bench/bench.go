@@ -137,6 +137,7 @@ func Registry() []Experiment {
 		{"exp-harvest", "energy-harvesting checkpoint progress (§VI)", ExpHarvest},
 		{"writepath", "bank-sharded commit throughput, serial vs concurrent", ExpWritePath},
 		{"crashcampaign", "fault-injection campaign: crash/reboot survival and recovery cost", ExpCrashCampaign},
+		{"lifetime", "writes to first data loss: unmanaged vs endurance-managed", ExpLifetime},
 	}
 }
 

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Artifact schema validation. The BENCH_*.json files committed at the repo
+// root are the machine-readable results other tooling (CI, dashboards,
+// regression diffing) consumes; this file is the contract that keeps them
+// from drifting silently. ValidateArtifact checks both shape (required
+// fields, right types) and the cross-field invariants each artifact exists
+// to witness — a crash campaign with violations or a lifetime report whose
+// managed configuration is not at least 2× the unmanaged baseline is not a
+// valid artifact, whatever its JSON looks like.
+
+// artifactSchemas maps the artifact file stem (e.g. "writepath" for
+// BENCH_writepath.json) to its validator.
+var artifactSchemas = map[string]func(doc map[string]any) error{
+	"writepath":     validateWritePath,
+	"crashcampaign": validateCrashCampaign,
+	"lifetime":      validateLifetime,
+}
+
+// ArtifactKinds lists every artifact stem a repo checkout is expected to
+// carry, in a stable order.
+func ArtifactKinds() []string {
+	return []string{"writepath", "crashcampaign", "lifetime"}
+}
+
+// ValidateArtifact parses data as the named artifact kind (a stem from
+// ArtifactKinds) and checks schema plus invariants.
+func ValidateArtifact(kind string, data []byte) error {
+	fn, ok := artifactSchemas[kind]
+	if !ok {
+		return fmt.Errorf("unknown artifact kind %q", kind)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %w", kind, err)
+	}
+	if err := fn(doc); err != nil {
+		return fmt.Errorf("%s: %w", kind, err)
+	}
+	return nil
+}
+
+// num extracts a required numeric field.
+func num(doc map[string]any, key string) (float64, error) {
+	v, ok := doc[key]
+	if !ok {
+		return 0, fmt.Errorf("missing field %q", key)
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return 0, fmt.Errorf("field %q is %T, want number", key, v)
+	}
+	return f, nil
+}
+
+// rows extracts the required non-empty "rows" array of objects.
+func rows(doc map[string]any) ([]map[string]any, error) {
+	v, ok := doc["rows"]
+	if !ok {
+		return nil, fmt.Errorf("missing field %q", "rows")
+	}
+	arr, ok := v.([]any)
+	if !ok || len(arr) == 0 {
+		return nil, fmt.Errorf("field %q must be a non-empty array", "rows")
+	}
+	out := make([]map[string]any, len(arr))
+	for i, e := range arr {
+		m, ok := e.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("rows[%d] is %T, want object", i, e)
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// requireNums checks that every listed field of every row is a number.
+func requireNums(rs []map[string]any, fields ...string) error {
+	for i, r := range rs {
+		for _, f := range fields {
+			if _, err := num(r, f); err != nil {
+				return fmt.Errorf("rows[%d]: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+func validateWritePath(doc map[string]any) error {
+	banks, err := num(doc, "banks")
+	if err != nil {
+		return err
+	}
+	rs, err := rows(doc)
+	if err != nil {
+		return err
+	}
+	if err := requireNums(rs, "workers", "ops", "device_ops_per_sec", "speedup_vs_1_worker"); err != nil {
+		return err
+	}
+	// Invariant: the tentpole claim — at `banks` workers the device-time
+	// speedup over 1 worker is at least 2×.
+	for _, r := range rs {
+		w, _ := num(r, "workers")
+		if w != banks {
+			continue
+		}
+		sp, _ := num(r, "speedup_vs_1_worker")
+		if sp < 2 {
+			return fmt.Errorf("speedup at %d workers is %.2f, want >= 2", int(banks), sp)
+		}
+		return nil
+	}
+	return fmt.Errorf("no row with workers == banks (%d)", int(banks))
+}
+
+func validateCrashCampaign(doc map[string]any) error {
+	if _, err := num(doc, "seed"); err != nil {
+		return err
+	}
+	rs, err := rows(doc)
+	if err != nil {
+		return err
+	}
+	if err := requireNums(rs, "cycles", "crashes", "faults_fired", "violation_count", "fingerprint"); err != nil {
+		return err
+	}
+	for i, r := range rs {
+		if _, ok := r["scenario"].(string); !ok {
+			return fmt.Errorf("rows[%d]: missing scenario name", i)
+		}
+		// Invariants: the campaign proved something (crashes happened,
+		// fingerprint pinned) and proved it cleanly (no violations).
+		if v, _ := num(r, "violation_count"); v != 0 {
+			return fmt.Errorf("rows[%d] (%s): %v recovery-invariant violations", i, r["scenario"], v)
+		}
+		if c, _ := num(r, "crashes"); c == 0 {
+			return fmt.Errorf("rows[%d] (%s): campaign never crashed", i, r["scenario"])
+		}
+		if fp, _ := num(r, "fingerprint"); fp == 0 {
+			return fmt.Errorf("rows[%d] (%s): zero fingerprint", i, r["scenario"])
+		}
+	}
+	return nil
+}
+
+func validateLifetime(doc map[string]any) error {
+	for _, f := range []string{"seed", "endurance_cycles", "page_size", "num_pages", "spares"} {
+		if _, err := num(doc, f); err != nil {
+			return err
+		}
+	}
+	rs, err := rows(doc)
+	if err != nil {
+		return err
+	}
+	if err := requireNums(rs, "writes_to_first_loss", "lifetime_x", "erases", "max_wear"); err != nil {
+		return err
+	}
+	var sawUnmanaged, sawManaged bool
+	for i, r := range rs {
+		cfg, ok := r["config"].(string)
+		if !ok {
+			return fmt.Errorf("rows[%d]: missing config name", i)
+		}
+		lost, ok := r["data_lost"].(bool)
+		if !ok {
+			return fmt.Errorf("rows[%d] (%s): missing data_lost flag", i, cfg)
+		}
+		x, _ := num(r, "lifetime_x")
+		switch cfg {
+		case "unmanaged":
+			sawUnmanaged = true
+			if x != 1 {
+				return fmt.Errorf("unmanaged lifetime_x = %v, want 1 (it is the baseline)", x)
+			}
+		default:
+			sawManaged = true
+			// The acceptance invariants: managed configurations at least
+			// double writes-to-first-loss and never lose acknowledged data.
+			if x < 2 {
+				return fmt.Errorf("%s lifetime_x = %v, want >= 2", cfg, x)
+			}
+			if lost {
+				return fmt.Errorf("%s lost acknowledged data; managed end of life must be a clean refusal", cfg)
+			}
+		}
+	}
+	if !sawUnmanaged || !sawManaged {
+		return fmt.Errorf("need both an unmanaged baseline row and a managed row")
+	}
+	return nil
+}

@@ -47,6 +47,13 @@ func (p FallbackPolicy) String() string {
 	return "per-page"
 }
 
+// ErrExactDegraded is returned by the health-gated commit path
+// (WithHealthGate) when exact data would land on a degraded page — one that
+// has worn out or been retired. Approximate writes still proceed (stuck
+// cells are just extra 1→0 flips inside the error budget); callers holding
+// exact data must place it elsewhere.
+var ErrExactDegraded = errors.New("core: page degraded; exact data refused")
+
 // Stats aggregates the controller's decisions across committed pages.
 type Stats struct {
 	PagesApprox uint64 // pages committed with programs only (no erase)
@@ -55,6 +62,10 @@ type Stats struct {
 	ValuesApproximated uint64 // values where approx != exact
 	ValuesTotal        uint64 // values considered by the error check
 	ErrorSum           uint64 // accumulated |exact - approx| over ValuesTotal
+
+	// Health-gate accounting (zero unless WithHealthGate is configured).
+	PagesDegraded uint64 // approximate commits routed onto degraded pages
+	ExactRefused  uint64 // commits refused with ErrExactDegraded
 }
 
 // MAE returns the mean absolute error introduced across all checked values.
@@ -72,6 +83,8 @@ func (s *Stats) add(o Stats) {
 	s.ValuesApproximated += o.ValuesApproximated
 	s.ValuesTotal += o.ValuesTotal
 	s.ErrorSum += o.ErrorSum
+	s.PagesDegraded += o.PagesDegraded
+	s.ExactRefused += o.ExactRefused
 }
 
 // Device is a flash chip with the FlipBit controller attached. All writes
@@ -104,10 +117,20 @@ type Device struct {
 	// two fixed SRAM buffers of the serial design.
 	bufPool sync.Pool
 
+	// healthGate, when set, makes commitPage consult page health: exact
+	// data is refused on degraded pages with ErrExactDegraded while
+	// approximate data keeps flowing onto them.
+	healthGate bool
+
+	// scrubber is the background scrubber built by WithScrubber (scrub.go);
+	// nil unless configured. It is constructed stopped — call Start.
+	scrubber *Scrubber
+
 	// Construction-time option state.
 	banksOverride int
 	observers     []flash.Observer
 	faultSched    flash.FaultSchedule
+	scrubCfg      *ScrubConfig
 }
 
 // commitBuffers is the SRAM triple one page commit works on: the page's
@@ -152,6 +175,24 @@ func WithFaultSchedule(s flash.FaultSchedule) Option {
 	return func(d *Device) { d.faultSched = s }
 }
 
+// WithHealthGate makes the commit path consult page health: commits that
+// would place exact data on a degraded (worn-out or retired) page fail with
+// ErrExactDegraded instead of writing data an upcoming erase would corrupt,
+// while approximate commits keep flowing onto degraded pages — the paper's
+// graceful-degradation story. The gate is also predictive: an exact commit
+// that needs an erase on a page already at its endurance rating is refused
+// *before* that erase kills the page, so acknowledged data is never
+// destroyed by a doomed rewrite. Off by default, preserving the classic
+// best-effort ErrWornOut behaviour.
+func WithHealthGate() Option { return func(d *Device) { d.healthGate = true } }
+
+// WithScrubber builds a background scrubber (scrub.go) over the device at
+// construction. The scrubber is returned by Device.Scrubber and starts
+// stopped — call Start to launch its per-bank goroutines.
+func WithScrubber(cfg ScrubConfig) Option {
+	return func(d *Device) { d.scrubCfg = &cfg }
+}
+
 // NewDevice builds a FlipBit device over a fresh flash array described by
 // spec. The controller starts with approximation disabled (empty region),
 // width 8 and threshold 0.
@@ -188,6 +229,9 @@ func NewDevice(spec flash.Spec, opts ...Option) (*Device, error) {
 			approx:   make([]byte, ps),
 		}
 	}
+	if d.scrubCfg != nil {
+		d.scrubber = NewScrubber(d, *d.scrubCfg)
+	}
 	return d, nil
 }
 
@@ -202,6 +246,10 @@ func MustNewDevice(spec flash.Spec, opts ...Option) *Device {
 
 // Flash exposes the underlying flash device for statistics and inspection.
 func (d *Device) Flash() *flash.Device { return d.fl }
+
+// Scrubber returns the background scrubber configured with WithScrubber, or
+// nil when none was requested.
+func (d *Device) Scrubber() *Scrubber { return d.scrubber }
 
 // Stats returns a snapshot of the controller's decision counters: the
 // per-bank shards merged in bank order. All counters are integers, so the
@@ -437,7 +485,25 @@ func (d *Device) commitPage(page, off int, data []byte) error {
 	// Stage 2: apply the CPU's stores.
 	s.apply()
 
+	// Health gate (§II-B graceful degradation): a degraded page — worn
+	// out or retired — must not receive exact data. Even a program-only
+	// exact write is unsafe there: stuck cells silently corrupt the next
+	// value that needs them at 1. Approximate commits continue below.
+	degraded := d.healthGate && d.fl.Degraded(page)
+
 	if !d.Approximatable(page) {
+		if degraded {
+			d.shards[bank].ExactRefused++
+			return fmt.Errorf("page %d: %w", page, ErrExactDegraded)
+		}
+		// Predictive fencing: a page at its endurance rating is still
+		// healthy, but the erase this commit needs would push it past the
+		// rating and stick cells under the fresh exact data. Refuse while
+		// the data is still intact somewhere.
+		if d.healthGate && s.needsErase() && d.fl.AtRating(page) {
+			d.shards[bank].ExactRefused++
+			return fmt.Errorf("page %d: %w", page, ErrExactDegraded)
+		}
 		return s.programExact()
 	}
 
@@ -446,17 +512,30 @@ func (d *Device) commitPage(page, off int, data []byte) error {
 
 	// Stage 4: gate on the error threshold (Fig. 9 hardware).
 	if s.gate(enc) {
+		if degraded || (d.healthGate && d.fl.AtRating(page)) {
+			// The erase fallback is doomed on a degraded page — the
+			// erase sticks more cells and the exact program lands
+			// corrupted — and equally doomed on a page at its rating,
+			// where this very erase would be the one that kills it.
+			// Refuse instead of silently destroying data.
+			d.shards[bank].ExactRefused++
+			return fmt.Errorf("page %d: %w", page, ErrExactDegraded)
+		}
 		d.shards[bank].PagesExact++
 		return s.eraseProgramExact()
 	}
 
 	// Stage 5: approximate commit — programs only, no erase possible by
-	// construction (every value is a bitwise subset of previous).
+	// construction (every value is a bitwise subset of previous, so stuck
+	// cells — already 0 in previous — are automatically respected).
 	sh := &d.shards[bank]
 	sh.PagesApprox++
 	sh.ValuesApproximated += enc.approximated
 	sh.ValuesTotal += uint64(enc.tracker.Count())
 	sh.ErrorSum += enc.tracker.SumAbs()
+	if degraded {
+		sh.PagesDegraded++
+	}
 	return s.programApprox()
 }
 
@@ -528,20 +607,24 @@ func (s *session) programApprox() error {
 	return s.d.fl.ProgramPage(s.page, s.bufs.approx)
 }
 
+// needsErase reports whether committing the exact buffer requires an erase:
+// some bit needs a 0→1 transition only an erase can provide.
+func (s *session) needsErase() bool {
+	mode := s.d.fl.Spec().Cell
+	for i, v := range s.bufs.exact {
+		if !mode.Reachable(s.bufs.previous[i], v) {
+			return true
+		}
+	}
+	return false
+}
+
 // programExact writes the exact buffer to the page, erasing only if some
 // bit needs a 0→1 transition. This is the conventional (non-FlipBit) write
 // path and the fair baseline for every experiment.
 func (s *session) programExact() error {
 	fl := s.d.fl
-	mode := fl.Spec().Cell
-	needErase := false
-	for i, v := range s.bufs.exact {
-		if !mode.Reachable(s.bufs.previous[i], v) {
-			needErase = true
-			break
-		}
-	}
-	if !needErase {
+	if !s.needsErase() {
 		return fl.ProgramPage(s.page, s.bufs.exact)
 	}
 	return fl.EraseProgramPage(s.page, s.bufs.exact)

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/flipbit-sim/flipbit/internal/flash"
+)
+
+// Background scrubbing. Flash cells drift: repeated reads disturb
+// neighbouring cells and worn erases leave cells stuck at 0. The scrubber
+// walks the device bank by bank, samples each page's drift mask (the fault
+// model's ground truth, flash/health.go) and acts by page class:
+//
+//   - clean pages are left alone;
+//   - approximatable pages absorb drift up to MaxStuck cells — stuck bits
+//     are just extra 1→0 flips inside the error budget, so the data keeps
+//     living there at zero refresh cost (the paper's core insight);
+//   - exact pages with drift, and approximatable pages past the budget,
+//     are refreshed in place: the intended image (data | mask) is rewritten
+//     with an erase + program + verify, or handed to a caller-supplied
+//     Refresh hook (the journaled FTL's crash-consistent path);
+//   - worn-out pages that can no longer hold even approximate data are
+//     retired, by default fencing them off at the flash layer, or through a
+//     caller-supplied Retire hook (the FTL's spare-pool remap).
+//
+// Each bank is scrubbed by its own rate-limited goroutine; sampling and the
+// raw refresh hold the bank's commit lock so an in-flight commit never
+// interleaves with a refresh of the same page.
+
+// DefaultScrubInterval is the per-bank tick period when ScrubConfig leaves
+// Interval zero.
+const DefaultScrubInterval = 10 * time.Millisecond
+
+// ScrubConfig parameterises a Scrubber.
+type ScrubConfig struct {
+	// Interval is the delay between scrub ticks per bank (the rate limit);
+	// zero or negative selects DefaultScrubInterval.
+	Interval time.Duration
+
+	// PagesPerTick is how many pages one bank tick samples (minimum 1).
+	PagesPerTick int
+
+	// MaxStuck is the stuck-cell budget an approximatable page may absorb
+	// before it is refreshed or retired. Zero means approximatable pages
+	// are refreshed as soon as any cell drifts (no absorption).
+	MaxStuck int
+
+	// Refresh, when non-nil, replaces the raw in-place erase + program
+	// with a managed path (e.g. the journaled FTL's crash-consistent
+	// RefreshPage). It receives the physical page and its restored
+	// intended image, and is invoked without the bank's commit lock held —
+	// the callback must provide its own exclusion if commits can race it.
+	Refresh func(p int, restored []byte) error
+
+	// Retire, when non-nil, replaces flash.Device.Retire for worn-out
+	// pages (e.g. the FTL's spare-pool remap). Invoked without the bank's
+	// commit lock held.
+	Retire func(p int) error
+}
+
+// ScrubStats counts scrubber decisions.
+type ScrubStats struct {
+	Sampled   uint64 // pages examined
+	Clean     uint64 // pages with no drift and no wear-out
+	Absorbed  uint64 // approximatable pages left carrying drift
+	Refreshed uint64 // pages rewritten to their intended image
+	Retired   uint64 // worn-out pages retired
+	Errors    uint64 // refresh/retire attempts that failed
+}
+
+// Scrubber is the background scrub engine for one device. Construct with
+// NewScrubber (or the WithScrubber device option), then Start. Safe for
+// concurrent use with device commits.
+type Scrubber struct {
+	d   *Device
+	cfg ScrubConfig
+
+	mu     sync.Mutex
+	stats  ScrubStats
+	cursor []int // per-bank index of the next page to sample
+
+	runMu   sync.Mutex
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	running bool
+}
+
+// NewScrubber builds a stopped scrubber over d.
+func NewScrubber(d *Device, cfg ScrubConfig) *Scrubber {
+	return &Scrubber{d: d, cfg: cfg, cursor: make([]int, d.fl.Banks())}
+}
+
+// Stats returns a snapshot of the scrubber's decision counters.
+func (s *Scrubber) Stats() ScrubStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Scrubber) interval() time.Duration {
+	if s.cfg.Interval <= 0 {
+		return DefaultScrubInterval
+	}
+	return s.cfg.Interval
+}
+
+func (s *Scrubber) pagesPerTick() int {
+	if s.cfg.PagesPerTick < 1 {
+		return 1
+	}
+	return s.cfg.PagesPerTick
+}
+
+// Start launches one rate-limited goroutine per bank. Starting a running
+// scrubber is a no-op.
+func (s *Scrubber) Start() {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	if s.running {
+		return
+	}
+	s.running = true
+	s.stop = make(chan struct{})
+	for b := 0; b < s.d.fl.Banks(); b++ {
+		s.wg.Add(1)
+		go s.run(b, s.stop)
+	}
+}
+
+// Stop halts the per-bank goroutines and waits for in-flight scrubs to
+// finish. Stopping a stopped scrubber is a no-op.
+func (s *Scrubber) Stop() {
+	s.runMu.Lock()
+	if !s.running {
+		s.runMu.Unlock()
+		return
+	}
+	s.running = false
+	close(s.stop)
+	s.runMu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Scrubber) run(bank int, stop chan struct{}) {
+	defer s.wg.Done()
+	t := time.NewTicker(s.interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.ScrubBank(bank, s.pagesPerTick())
+		}
+	}
+}
+
+// ScrubBank synchronously scrubs the next n pages of one bank, advancing
+// the bank's cursor. It is the deterministic entry point the fault-campaign
+// engine drives directly (no goroutines, no timers).
+func (s *Scrubber) ScrubBank(bank, n int) {
+	nb := s.d.fl.Banks()
+	pages := s.d.fl.Spec().NumPages
+	perBank := (pages - bank + nb - 1) / nb // pages p with p % nb == bank
+	if perBank == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		s.mu.Lock()
+		idx := s.cursor[bank] % perBank
+		s.cursor[bank] = idx + 1
+		s.mu.Unlock()
+		s.scrubPage(bank + idx*nb)
+	}
+}
+
+// bump increments one stats counter.
+func (s *Scrubber) bump(f func(*ScrubStats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// scrubPage samples one page and applies the scrub policy.
+func (s *Scrubber) scrubPage(p int) {
+	d := s.d
+	fl := d.fl
+	s.bump(func(st *ScrubStats) { st.Sampled++ })
+
+	if fl.Retired(p) {
+		s.bump(func(st *ScrubStats) { st.Clean++ })
+		return
+	}
+
+	bank := fl.BankOf(p)
+	ps := fl.Spec().PageSize
+	mask := make([]byte, ps)
+
+	// Sample and decide under the bank's commit lock so a concurrent
+	// commit never interleaves with the classification or a raw refresh.
+	d.commitMu[bank].Lock()
+	stuck, err := fl.StuckMaskInto(p, mask)
+	if err != nil {
+		d.commitMu[bank].Unlock()
+		s.bump(func(st *ScrubStats) { st.Errors++ })
+		return
+	}
+	worn := fl.WornOut(p)
+	if stuck == 0 && !worn {
+		d.commitMu[bank].Unlock()
+		s.bump(func(st *ScrubStats) { st.Clean++ })
+		return
+	}
+
+	// Approximate data lives with drift: the encoder already treats stuck
+	// cells as cleared bits of `previous`, so up to MaxStuck cells the
+	// page needs no action at all.
+	if d.Approximatable(p) && stuck <= s.cfg.MaxStuck && !worn {
+		d.commitMu[bank].Unlock()
+		s.bump(func(st *ScrubStats) { st.Absorbed++ })
+		return
+	}
+
+	// A worn page can no longer hold data; a page at its endurance rating
+	// still can, but the erase a refresh needs would be the one that kills
+	// it. Both retire — through the hook, data moves onto a spare.
+	if worn || fl.AtRating(p) {
+		d.commitMu[bank].Unlock()
+		s.retire(p)
+		return
+	}
+
+	// Refresh: rebuild the intended image (data | mask) and rewrite it.
+	restored := make([]byte, ps)
+	if err := fl.ReadPage(p, restored); err != nil {
+		d.commitMu[bank].Unlock()
+		s.bump(func(st *ScrubStats) { st.Errors++ })
+		return
+	}
+	for i := range restored {
+		restored[i] |= mask[i]
+	}
+	if s.cfg.Refresh != nil {
+		d.commitMu[bank].Unlock()
+		err = s.cfg.Refresh(p, restored)
+	} else {
+		err = rawRefresh(fl, p, restored)
+		d.commitMu[bank].Unlock()
+	}
+	if err != nil {
+		s.bump(func(st *ScrubStats) { st.Errors++ })
+		if errors.Is(err, flash.ErrWornOut) {
+			s.retire(p)
+		}
+		return
+	}
+	fl.NoteScrub(p)
+	s.bump(func(st *ScrubStats) { st.Refreshed++ })
+}
+
+// retire takes a worn-out page out of service through the configured hook.
+func (s *Scrubber) retire(p int) {
+	var err error
+	if s.cfg.Retire != nil {
+		err = s.cfg.Retire(p)
+	} else {
+		err = s.d.fl.Retire(p)
+	}
+	if err != nil {
+		s.bump(func(st *ScrubStats) { st.Errors++ })
+		return
+	}
+	s.bump(func(st *ScrubStats) { st.Retired++ })
+}
+
+// rawRefresh rewrites page p to restored with erase + program + read-back
+// verify — the default refresh for raw (unmanaged) devices.
+func rawRefresh(fl *flash.Device, p int, restored []byte) error {
+	if err := fl.EraseProgramPage(p, restored); err != nil {
+		return err
+	}
+	got := make([]byte, len(restored))
+	if err := fl.ReadPage(p, got); err != nil {
+		return err
+	}
+	for i := range got {
+		if got[i] != restored[i] {
+			return fmt.Errorf("core: scrub verify failed: page %d byte %d got %02x want %02x",
+				p, i, got[i], restored[i])
+		}
+	}
+	return nil
+}

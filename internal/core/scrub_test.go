@@ -1,0 +1,226 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/flipbit-sim/flipbit/internal/flash"
+)
+
+func scrubSpec() flash.Spec {
+	s := flash.DefaultSpec()
+	s.PageSize = 32
+	s.NumPages = 8
+	s.Banks = 2
+	return s
+}
+
+// wearOut erases page p until it is past endurance.
+func wearOut(t *testing.T, d *Device, p int) {
+	t.Helper()
+	fl := d.Flash()
+	for !fl.WornOut(p) {
+		if err := fl.ErasePage(p); err != nil && !errors.Is(err, flash.ErrWornOut) {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHealthGateRefusesExactOnDegraded(t *testing.T) {
+	s := scrubSpec()
+	s.EnduranceCycles = 3
+	d := MustNewDevice(s, WithHealthGate())
+	const p = 0
+	wearOut(t, d, p)
+
+	// Exact data (no approx region configured) must be refused.
+	err := d.Write(d.fl.PageBase(p), []byte{1, 2, 3, 4})
+	if !errors.Is(err, ErrExactDegraded) {
+		t.Fatalf("exact write on degraded page: got %v, want ErrExactDegraded", err)
+	}
+	if got := d.Stats().ExactRefused; got != 1 {
+		t.Errorf("ExactRefused = %d, want 1", got)
+	}
+
+	// Without the gate the legacy best-effort behaviour is preserved.
+	d2 := MustNewDevice(s)
+	wearOut(t, d2, p)
+	if err := d2.Write(d2.fl.PageBase(p), []byte{1, 2, 3, 4}); errors.Is(err, ErrExactDegraded) {
+		t.Fatalf("ungated device returned ErrExactDegraded: %v", err)
+	}
+}
+
+func TestHealthGateRoutesApproxOntoDegraded(t *testing.T) {
+	s := scrubSpec()
+	s.EnduranceCycles = 3
+	d := MustNewDevice(s, WithHealthGate())
+	if err := d.SetApproxRegion(0, s.PageSize*s.NumPages); err != nil {
+		t.Fatal(err)
+	}
+	d.SetThreshold(70000) // saturates to unlimited: gate never trips
+	const p = 2
+	wearOut(t, d, p)
+
+	if err := d.Write(d.fl.PageBase(p), []byte{0x10, 0x20, 0x30, 0x40}); err != nil {
+		t.Fatalf("approx write on degraded page: %v", err)
+	}
+	if got := d.Stats().PagesDegraded; got != 1 {
+		t.Errorf("PagesDegraded = %d, want 1", got)
+	}
+}
+
+// TestScrubRefreshesExactDrift: read-disturb drift on an exact page must be
+// healed back to the intended image by the scrubber.
+func TestScrubRefreshesExactDrift(t *testing.T) {
+	d := MustNewDevice(scrubSpec())
+	const p = 1
+	fl := d.Flash()
+	ps := fl.Spec().PageSize
+	want := make([]byte, ps)
+	for i := range want {
+		want[i] = byte(0xF0 | i&0x0F)
+	}
+	if err := d.Write(fl.PageBase(p), want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Disturb the page until some legitimate 1 actually flips (the fault
+	// picks random cells, which may already be 0).
+	buf := make([]byte, ps)
+	for fl.StuckBits(p) == 0 {
+		fl.ArmBankFault(fl.BankOf(p), flash.Fault{Kind: flash.FaultReadDisturb, Bits: 8})
+		if err := fl.ReadPage(p, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sc := NewScrubber(d, ScrubConfig{})
+	sc.scrubPage(p)
+
+	if err := d.Read(fl.PageBase(p), buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("page not restored:\n got %x\nwant %x", buf, want)
+	}
+	st := sc.Stats()
+	if st.Refreshed != 1 || st.Sampled != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if got := fl.Stats().Scrubs; got != 1 {
+		t.Errorf("flash Scrubs = %d, want 1", got)
+	}
+}
+
+// TestScrubAbsorbsApproxDrift: drift within budget on an approximatable
+// page costs nothing — no erase, no program, data left in place.
+func TestScrubAbsorbsApproxDrift(t *testing.T) {
+	s := scrubSpec()
+	d := MustNewDevice(s)
+	if err := d.SetApproxRegion(0, s.PageSize*s.NumPages); err != nil {
+		t.Fatal(err)
+	}
+	d.SetThreshold(70000)
+	const p = 3
+	fl := d.Flash()
+	if err := d.Write(fl.PageBase(p), bytes.Repeat([]byte{0xFF}, s.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, s.PageSize)
+	for fl.StuckBits(p) == 0 {
+		fl.ArmBankFault(fl.BankOf(p), flash.Fault{Kind: flash.FaultReadDisturb, Bits: 4})
+		if err := fl.ReadPage(p, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := fl.Stats()
+	sc := NewScrubber(d, ScrubConfig{MaxStuck: 64})
+	sc.scrubPage(p)
+	delta := fl.Stats().Sub(before)
+	if delta.Erases != 0 || delta.Programs != 0 {
+		t.Errorf("absorption touched flash: %+v", delta)
+	}
+	if st := sc.Stats(); st.Absorbed != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if fl.StuckBits(p) == 0 {
+		t.Error("drift mask was cleared by absorption")
+	}
+}
+
+// TestScrubRetiresWornPage: a worn-out page is retired (default hook: the
+// flash layer's fence).
+func TestScrubRetiresWornPage(t *testing.T) {
+	s := scrubSpec()
+	s.EnduranceCycles = 2
+	d := MustNewDevice(s)
+	const p = 4
+	wearOut(t, d, p)
+
+	sc := NewScrubber(d, ScrubConfig{})
+	sc.scrubPage(p)
+	if !d.Flash().Retired(p) {
+		t.Fatal("worn page not retired")
+	}
+	if st := sc.Stats(); st.Retired != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	// A second pass sees the retired page and leaves it alone.
+	sc.scrubPage(p)
+	if st := sc.Stats(); st.Retired != 1 || st.Clean != 1 {
+		t.Errorf("second-pass stats: %+v", st)
+	}
+}
+
+// TestScrubberConcurrentWithWrites: the scrubber's goroutines must coexist
+// with a concurrent write load (exercised under -race in CI).
+func TestScrubberConcurrentWithWrites(t *testing.T) {
+	s := scrubSpec()
+	s.NumPages = 16
+	s.Banks = 4
+	d := MustNewDevice(s, WithScrubber(ScrubConfig{
+		Interval:     200 * time.Microsecond,
+		PagesPerTick: 2,
+		MaxStuck:     8,
+	}))
+	if err := d.SetApproxRegion(0, s.PageSize*s.NumPages/2); err != nil {
+		t.Fatal(err)
+	}
+	d.SetThreshold(4)
+	sc := d.Scrubber()
+	if sc == nil {
+		t.Fatal("WithScrubber did not build a scrubber")
+	}
+	sc.Start()
+	sc.Start() // idempotent
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 8)
+			for i := 0; i < 200; i++ {
+				for j := range buf {
+					buf[j] = byte(w*31 + i + j)
+				}
+				addr := ((w*5 + i) % s.NumPages) * s.PageSize
+				if err := d.Write(addr, buf); err != nil &&
+					!errors.Is(err, flash.ErrWornOut) {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sc.Stop()
+	sc.Stop() // idempotent
+	if st := sc.Stats(); st.Sampled == 0 {
+		t.Error("scrubber never sampled a page while running")
+	}
+}

@@ -50,6 +50,19 @@ type Config struct {
 	UseFTL bool
 	// Verify mounts the store with read-back verification of commits.
 	Verify bool
+
+	// Spares reserves a retirement pool in the FTL (requires UseFTL), so
+	// worn pages are remapped instead of quarantined.
+	Spares int
+	// Scrub arms the background scrubber, driven synchronously (one
+	// deterministic pass per cycle, before the workload) so campaigns stay
+	// replayable. With UseFTL the scrubber routes refreshes and
+	// retirements through the FTL's crash-consistent paths — power loss
+	// mid-scrub exercises the refresh-intent recovery.
+	Scrub bool
+	// ScrubPages is how many pages each cycle's scrub pass samples per
+	// bank (default 2, with Scrub set).
+	ScrubPages int
 }
 
 // withDefaults fills unset fields.
@@ -77,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ValueSize <= 0 {
 		c.ValueSize = 24
+	}
+	if c.Scrub && c.ScrubPages <= 0 {
+		c.ScrubPages = 2
 	}
 	return c
 }
@@ -112,6 +128,15 @@ type Result struct {
 
 	FTLRolledForward uint64 `json:"ftl_rolled_forward,omitempty"`
 	FTLRolledBack    uint64 `json:"ftl_rolled_back,omitempty"`
+	FTLRetirements   uint64 `json:"ftl_retirements,omitempty"`
+	FTLRefreshes     uint64 `json:"ftl_refreshes,omitempty"`
+
+	// Scrub activity (with Config.Scrub), accumulated across reboots.
+	ScrubSampled   uint64 `json:"scrub_sampled,omitempty"`
+	ScrubAbsorbed  uint64 `json:"scrub_absorbed,omitempty"`
+	ScrubRefreshed uint64 `json:"scrub_refreshed,omitempty"`
+	ScrubRetired   uint64 `json:"scrub_retired,omitempty"`
+	ScrubErrors    uint64 `json:"scrub_errors,omitempty"`
 
 	FinalLiveKeys int    `json:"final_live_keys"`
 	Fingerprint   uint64 `json:"fingerprint"`
@@ -136,6 +161,14 @@ type campaign struct {
 	fl    *flash.Device
 	ftl   *ftl.FTL
 	store *kvs.Store
+
+	// scr is rebuilt on every mount (its hooks capture the live FTL);
+	// scrubTotals accumulates the stats of scrubbers retired by reboots,
+	// and ftlRetireTotal/ftlRefreshTotal do the same for the FTLs.
+	scr             *core.Scrubber
+	scrubTotals     core.ScrubStats
+	ftlRetireTotal  uint64
+	ftlRefreshTotal uint64
 
 	model   map[string][]byte // acked key → value
 	pending pendingOp
@@ -179,7 +212,12 @@ func Run(cfg Config) (*Result, error) {
 func (c *campaign) mount() error {
 	var backendErr error
 	if c.cfg.UseFTL {
-		f, err := ftl.Open(c.dev)
+		if c.ftl != nil {
+			fst := c.ftl.Stats()
+			c.ftlRetireTotal += fst.Retirements
+			c.ftlRefreshTotal += fst.Refreshes
+		}
+		f, err := ftl.Open(c.dev, ftl.WithSpares(c.cfg.Spares))
 		if err != nil {
 			return err
 		}
@@ -195,7 +233,42 @@ func (c *campaign) mount() error {
 		}
 		c.store, backendErr = c.openStore(nil)
 	}
+	if backendErr == nil && c.cfg.Scrub {
+		c.rebuildScrubber()
+	}
 	return backendErr
+}
+
+// rebuildScrubber replaces the scrubber after a (re)mount: its hooks must
+// capture the freshly mounted FTL. The outgoing scrubber's stats fold into
+// the campaign totals. The scrubber is never Started — runCycle drives it
+// synchronously, keeping the op stream deterministic.
+func (c *campaign) rebuildScrubber() {
+	if c.scr != nil {
+		c.scrubTotals = addScrubStats(c.scrubTotals, c.scr.Stats())
+	}
+	// MaxStuck 1: single-cell drift (the read-disturb case the record CRCs
+	// already repair) is absorbed, anything wider is refreshed — so the
+	// campaign exercises both scrub outcomes.
+	cfg := core.ScrubConfig{MaxStuck: 1}
+	if c.ftl != nil {
+		f := c.ftl
+		cfg.Refresh = f.RefreshPage
+		cfg.Retire = f.RetirePage
+	}
+	c.scr = core.NewScrubber(c.dev, cfg)
+}
+
+// addScrubStats sums two scrub-stat snapshots.
+func addScrubStats(a, b core.ScrubStats) core.ScrubStats {
+	return core.ScrubStats{
+		Sampled:   a.Sampled + b.Sampled,
+		Clean:     a.Clean + b.Clean,
+		Absorbed:  a.Absorbed + b.Absorbed,
+		Refreshed: a.Refreshed + b.Refreshed,
+		Retired:   a.Retired + b.Retired,
+		Errors:    a.Errors + b.Errors,
+	}
 }
 
 // openStore mounts the kvs layer on the chosen backend.
@@ -216,6 +289,17 @@ func (c *campaign) runCycle(cycle int) {
 	f := c.drawFault()
 	c.fl.ArmFault(f)
 	c.mix(uint64(f.Kind), uint64(f.After), uint64(f.Bits))
+
+	if c.scr != nil {
+		// One synchronous scrub pass with the fault armed: a power loss
+		// here tears a refresh or retirement mid-protocol, and the crash
+		// surfaces on the first workload op below.
+		for b := 0; b < c.fl.Banks(); b++ {
+			c.scr.ScrubBank(b, c.cfg.ScrubPages)
+		}
+		st := addScrubStats(c.scrubTotals, c.scr.Stats())
+		c.mix(st.Sampled, st.Absorbed, st.Refreshed, st.Retired, st.Errors)
+	}
 
 	crashed := false
 	ops := 0
@@ -287,7 +371,7 @@ func (c *campaign) driveOp(cycle int) bool {
 		c.pending.active = false
 		if err == nil {
 			c.model[key] = val
-		} else if !errors.Is(err, kvs.ErrFull) {
+		} else if !errors.Is(err, kvs.ErrFull) && !errors.Is(err, kvs.ErrDeviceReadOnly) {
 			c.violation(cycle, "put %q: %v", key, err)
 		}
 	case r < 7: // delete
@@ -299,7 +383,7 @@ func (c *campaign) driveOp(cycle int) bool {
 		c.pending.active = false
 		if err == nil {
 			delete(c.model, key)
-		} else if !errors.Is(err, kvs.ErrFull) {
+		} else if !errors.Is(err, kvs.ErrFull) && !errors.Is(err, kvs.ErrDeviceReadOnly) {
 			c.violation(cycle, "delete %q: %v", key, err)
 		}
 	default: // get
@@ -434,7 +518,17 @@ func (c *campaign) finish() {
 		fst := c.ftl.Stats()
 		c.res.FTLRolledForward = fst.RolledForward
 		c.res.FTLRolledBack = fst.RolledBack
+		c.res.FTLRetirements = c.ftlRetireTotal + fst.Retirements
+		c.res.FTLRefreshes = c.ftlRefreshTotal + fst.Refreshes
 		c.res.CorrectedBits += fst.CorrectedBits
+	}
+	if c.scr != nil {
+		sst := addScrubStats(c.scrubTotals, c.scr.Stats())
+		c.res.ScrubSampled = sst.Sampled
+		c.res.ScrubAbsorbed = sst.Absorbed
+		c.res.ScrubRefreshed = sst.Refreshed
+		c.res.ScrubRetired = sst.Retired
+		c.res.ScrubErrors = sst.Errors
 	}
 	if c.res.Crashes > 0 {
 		c.res.MeanRecoveryBusy = c.res.RecoveryBusy / time.Duration(c.res.Crashes)

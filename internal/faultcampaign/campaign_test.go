@@ -79,6 +79,48 @@ func TestCampaignPowerLossOnly(t *testing.T) {
 	}
 }
 
+// TestCampaignScrub: the scrubber runs a deterministic pass every cycle
+// through the FTL's crash-consistent refresh/retire hooks while power
+// losses and wear faults fire — including mid-scrub. Determinism must hold
+// with the scrubber armed, and no acked data may be lost.
+func TestCampaignScrub(t *testing.T) {
+	cfg := Config{
+		Seed:       42,
+		Cycles:     400,
+		UseFTL:     true,
+		Verify:     true,
+		Spares:     2,
+		Scrub:      true,
+		ScrubPages: 4,
+		Mix: flash.FaultMix{
+			PowerLoss: 4, StuckBits: 4, ReadDisturb: 2,
+			MinGap: 0, MaxGap: 300, MaxBits: 6,
+		},
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertClean(t, a)
+	if a.ScrubSampled == 0 {
+		t.Error("scrubber never sampled a page")
+	}
+	if a.ScrubAbsorbed+a.ScrubRefreshed == 0 {
+		t.Error("scrubber never acted on drift; fault mix too gentle")
+	}
+	t.Logf("scrub: sampled=%d absorbed=%d refreshed=%d retired=%d errors=%d ftlRefreshes=%d",
+		a.ScrubSampled, a.ScrubAbsorbed, a.ScrubRefreshed, a.ScrubRetired,
+		a.ScrubErrors, a.FTLRefreshes)
+
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("scrub campaign diverged across identical runs:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
 // assertClean fails the test on any recovery-invariant violation and checks
 // the campaign actually exercised faults.
 func assertClean(t *testing.T, res *Result) {

@@ -31,6 +31,8 @@ type Stats struct {
 	Programs        uint64 // bytes programmed
 	ProgramsSkipped uint64 // byte programs elided because the target value was already stored
 	Erases          uint64 // pages erased
+	Scrubs          uint64 // pages scrubbed by the management layer
+	Retirements     uint64 // pages retired onto spares
 
 	Energy energy.Energy
 	Busy   time.Duration
@@ -43,6 +45,8 @@ func (s Stats) Add(o Stats) Stats {
 		Programs:        s.Programs + o.Programs,
 		ProgramsSkipped: s.ProgramsSkipped + o.ProgramsSkipped,
 		Erases:          s.Erases + o.Erases,
+		Scrubs:          s.Scrubs + o.Scrubs,
+		Retirements:     s.Retirements + o.Retirements,
 		Energy:          s.Energy + o.Energy,
 		Busy:            s.Busy + o.Busy,
 	}
@@ -55,6 +59,8 @@ func (s Stats) Sub(o Stats) Stats {
 		Programs:        s.Programs - o.Programs,
 		ProgramsSkipped: s.ProgramsSkipped - o.ProgramsSkipped,
 		Erases:          s.Erases - o.Erases,
+		Scrubs:          s.Scrubs - o.Scrubs,
+		Retirements:     s.Retirements - o.Retirements,
 		Energy:          s.Energy - o.Energy,
 		Busy:            s.Busy - o.Busy,
 	}
@@ -88,11 +94,13 @@ type bank struct {
 // the bank's lock. Attach/Detach, SetTracer and SetProgramAll configure the
 // device and must not race in-flight operations.
 type Device struct {
-	spec  Spec
-	array []byte
-	wear  []uint32 // per-page erase count (guarded by the page's bank lock)
-	dead  []bool   // per-page worn-out flag (guarded by the page's bank lock)
-	banks []bank
+	spec    Spec
+	array   []byte
+	wear    []uint32 // per-page erase count (guarded by the page's bank lock)
+	dead    []bool   // per-page worn-out flag (guarded by the page's bank lock)
+	retired []bool   // per-page retirement flag (guarded by the page's bank lock)
+	drift   [][]byte // per-page fault-flip masks, nil until first flip (health.go)
+	banks   []bank
 
 	// programAll, when set, charges a program pulse even for bytes whose
 	// stored value already equals the target. Real buffered parts skip
@@ -128,11 +136,13 @@ func NewDevice(spec Spec) (*Device, error) {
 		spec.Banks = spec.NumPages
 	}
 	d := &Device{
-		spec:  spec,
-		array: make([]byte, spec.Size()),
-		wear:  make([]uint32, spec.NumPages),
-		dead:  make([]bool, spec.NumPages),
-		banks: make([]bank, spec.Banks),
+		spec:    spec,
+		array:   make([]byte, spec.Size()),
+		wear:    make([]uint32, spec.NumPages),
+		dead:    make([]bool, spec.NumPages),
+		retired: make([]bool, spec.NumPages),
+		drift:   make([][]byte, spec.NumPages),
+		banks:   make([]bank, spec.Banks),
 	}
 	for i := range d.array {
 		d.array[i] = 0xFF
@@ -331,11 +341,16 @@ func (d *Device) ProgramByte(addr int, v byte) error {
 
 // programByteLocked is ProgramByte with bank b's lock held.
 func (d *Device) programByteLocked(b, addr int, v byte) error {
+	page := d.PageOf(addr)
+	if d.retired[page] {
+		return fmt.Errorf("page %d: %w", page, ErrPageRetired)
+	}
 	cur := d.array[addr]
 	if !d.spec.Cell.Reachable(cur, v) {
 		return fmt.Errorf("%w: addr %#x stored %08b want %08b (%v)", ErrNeedsErase, addr, cur, v, d.spec.Cell)
 	}
 	if v == cur && !d.programAll {
+		d.absorbDrift(page, addr-d.PageBase(page), v)
 		d.emit(OpEvent{Kind: OpProgramSkip, Bank: b, Addr: addr, Bytes: 1, Value: v})
 		return nil
 	}
@@ -351,6 +366,7 @@ func (d *Device) programByteLocked(b, addr int, v byte) error {
 		return fmt.Errorf("program %#x: %w", addr, ErrPowerLoss)
 	}
 	d.array[addr] = v
+	d.absorbDrift(page, addr-d.PageBase(page), v)
 	d.emit(OpEvent{
 		Kind: OpProgram, Bank: b, Addr: addr, Bytes: 1, Value: v,
 		Energy: d.spec.ProgramEnergy, Busy: d.spec.ProgramLatency,
@@ -375,7 +391,11 @@ func (d *Device) ErasePage(p int) error {
 
 // erasePageLocked is ErasePage with bank b's lock held.
 func (d *Device) erasePageLocked(b, p int) error {
+	if d.retired[p] {
+		return fmt.Errorf("page %d: %w", p, ErrPageRetired)
+	}
 	base := d.PageBase(p)
+	d.clearDrift(p)
 	f, fired := d.faultFor(b, OpErase)
 	if fired && f.Kind == FaultPowerLoss {
 		d.tearErase(b, p)
@@ -426,8 +446,8 @@ func (d *Device) Wear(p int) uint32 {
 // ends when the hottest page wears out.
 func (d *Device) MaxWear() uint32 {
 	var m uint32
-	for p := range d.wear {
-		if w := d.Wear(p); w > m {
+	for _, w := range d.WearSnapshot() {
+		if w > m {
 			m = w
 		}
 	}
@@ -443,6 +463,20 @@ func (d *Device) WornOut(p int) bool {
 	bk.mu.Lock()
 	defer bk.mu.Unlock()
 	return d.dead[p]
+}
+
+// AtRating reports whether page p has consumed its full endurance rating:
+// the page still reads and programs normally, but its next erase will leave
+// cells stuck at 0. Management layers use this to fence a page *before* the
+// erase that would corrupt it, where WornOut only reports the damage after.
+func (d *Device) AtRating(p int) bool {
+	if p < 0 || p >= len(d.wear) {
+		return false
+	}
+	bk := &d.banks[d.BankOf(p)]
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	return d.wear[p] >= d.spec.EnduranceCycles
 }
 
 // ProgramPage programs page p from buf (exactly one page long) without
@@ -467,6 +501,9 @@ func (d *Device) ProgramPage(p int, buf []byte) error {
 
 // programPageLocked is ProgramPage with bank b's lock held.
 func (d *Device) programPageLocked(b, p int, buf []byte) error {
+	if d.retired[p] {
+		return fmt.Errorf("page %d: %w", p, ErrPageRetired)
+	}
 	base := d.PageBase(p)
 	for i, v := range buf {
 		if !d.spec.Cell.Reachable(d.array[base+i], v) {

@@ -272,14 +272,18 @@ func (d *Device) faultFor(b int, op OpKind) (Fault, bool) {
 // stickBits clears n cells at seeded-random positions in page p — the
 // stuck-at-0 failure of both the endurance model and FaultStuckBits. Called
 // with bank b's lock held; positions come from the bank's RNG so per-bank
-// sequences stay deterministic.
+// sequences stay deterministic. Cells that actually flip (were legitimately
+// 1) are recorded in the page's drift mask so the scrubber has ground truth
+// to restore from.
 func (d *Device) stickBits(b, p, n int) {
 	base := d.PageBase(p)
 	rng := d.banks[b].rng
 	for i := 0; i < n; i++ {
 		off := rng.Intn(d.spec.PageSize)
 		bit := rng.Intn(8)
+		old := d.array[base+off]
 		d.array[base+off] &^= 1 << uint(bit)
+		d.recordDrift(p, off, old^d.array[base+off])
 	}
 }
 

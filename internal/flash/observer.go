@@ -16,6 +16,8 @@ const (
 	OpProgram                   // one byte programmed
 	OpProgramSkip               // one byte program elided (value unchanged)
 	OpErase                     // one page erased
+	OpScrub                     // one page scrubbed by the management layer
+	OpRetire                    // one page retired onto a spare
 )
 
 func (k OpKind) String() string {
@@ -28,6 +30,10 @@ func (k OpKind) String() string {
 		return "program-skip"
 	case OpErase:
 		return "erase"
+	case OpScrub:
+		return "scrub"
+	case OpRetire:
+		return "retire"
 	}
 	return "unknown"
 }
@@ -121,6 +127,10 @@ func (s *Stats) apply(ev OpEvent) {
 		s.ProgramsSkipped++
 	case OpErase:
 		s.Erases++
+	case OpScrub:
+		s.Scrubs++
+	case OpRetire:
+		s.Retirements++
 	}
 	s.Energy += ev.Energy
 	s.Busy += ev.Busy

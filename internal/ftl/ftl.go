@@ -17,16 +17,25 @@ import (
 	"fmt"
 
 	"github.com/flipbit-sim/flipbit/internal/core"
+	"github.com/flipbit-sim/flipbit/internal/flash"
 )
 
 // ErrBounds is returned for out-of-range logical addresses.
 var ErrBounds = errors.New("ftl: logical address out of range")
+
+// ErrNoSpares is returned when a failing page should be retired but the
+// spare pool is exhausted — the device is out of healthy replacements.
+var ErrNoSpares = errors.New("ftl: spare pool exhausted")
 
 // Stats counts the FTL's own activity.
 type Stats struct {
 	Swaps      uint64 // wear-leveling page swaps performed
 	SwapReads  uint64 // pages read by swaps
 	SwapWrites uint64 // pages written by swaps
+
+	// Endurance-management counters.
+	Retirements uint64 // pages retired onto spares
+	Refreshes   uint64 // scrub refreshes written through RefreshPage
 
 	// Journaled-mode counters (zero for a volatile FTL built with New).
 	Checkpoints   uint64 // map checkpoints written (with read-back verify)
@@ -40,9 +49,19 @@ type Stats struct {
 type FTL struct {
 	dev *core.Device
 
-	// map logical page -> physical page, and its inverse.
+	// map logical page -> physical page, and its inverse. p2l covers the
+	// whole device; entries for unmapped physical pages (free spares,
+	// retired pages, journal metadata) hold -1.
 	l2p []int
 	p2l []int
+
+	// Spare pool for bad-page retirement: poolSize physical pages starting
+	// at poolBase. A spare is free while unmapped; retirement remaps a
+	// failing data page's logical owner onto a free spare. wantSpares is
+	// the construction-time request (clamped by geometry).
+	poolBase   int
+	poolSize   int
+	wantSpares int
 
 	// swapDelta is the wear imbalance (in erase cycles) that triggers a
 	// swap between the hottest and coldest pages.
@@ -73,49 +92,68 @@ func WithSwapDelta(d uint32) Option {
 	}
 }
 
+// WithSpares reserves n physical pages as a retirement pool: when a data
+// page wears out or is refused by the health gate, its logical page is
+// remapped onto a free spare and the bad page is fenced off. The logical
+// space shrinks by n pages.
+func WithSpares(n int) Option {
+	return func(f *FTL) {
+		if n > 0 {
+			f.wantSpares = n
+		}
+	}
+}
+
 // New builds an FTL mapping every page of dev identity-initialised. The map
 // lives only in RAM: a reboot forgets every swap, so New is for lifetime
 // experiments, not for data that must survive power loss — use Open for
 // that.
 func New(dev *core.Device, opts ...Option) *FTL {
-	n := dev.Flash().Spec().NumPages
-	f := &FTL{
-		dev:       dev,
-		l2p:       make([]int, n),
-		p2l:       make([]int, n),
-		swapDelta: 16,
-	}
-	for i := range f.l2p {
-		f.l2p[i] = i
-		f.p2l[i] = i
-	}
+	f := &FTL{dev: dev, swapDelta: 16}
 	for _, o := range opts {
 		o(f)
+	}
+	np := dev.Flash().Spec().NumPages
+	ns := f.wantSpares
+	if ns >= np {
+		ns = np - 1
+	}
+	nl := np - ns
+	f.l2p = make([]int, nl)
+	f.p2l = make([]int, np)
+	f.poolBase, f.poolSize = nl, ns
+	for pp := range f.p2l {
+		f.p2l[pp] = -1
+	}
+	for lp := range f.l2p {
+		f.l2p[lp] = lp
+		f.p2l[lp] = lp
 	}
 	return f
 }
 
 // Open mounts a journaled FTL (see journal.go): the tail of the device is
-// reserved for a spare page, an intent log and two map checkpoints, and
-// mounting recovers the translation map — finishing or rolling back a swap
-// that was interrupted by power loss. The logical space (NumPages) is
-// smaller than the device by the journal overhead.
+// reserved for a spare page, an intent log, two map checkpoints and the
+// retirement pool, and mounting recovers the translation map — finishing or
+// rolling back a swap that was interrupted by power loss. The logical space
+// (NumPages) is smaller than the device by the journal overhead and the
+// spare pool.
 func Open(dev *core.Device, opts ...Option) (*FTL, error) {
+	f := &FTL{dev: dev, swapDelta: 16, journaled: true}
+	for _, o := range opts {
+		o(f)
+	}
 	spec := dev.Flash().Spec()
-	lay, err := computeLayout(spec.PageSize, spec.NumPages)
+	lay, err := computeLayout(spec.PageSize, spec.NumPages, f.wantSpares)
 	if err != nil {
 		return nil, err
 	}
-	f := &FTL{
-		dev:       dev,
-		l2p:       make([]int, lay.nl),
-		p2l:       make([]int, lay.nl),
-		swapDelta: 16,
-		journaled: true,
-		lay:       lay,
-	}
-	for _, o := range opts {
-		o(f)
+	f.lay = lay
+	f.poolBase, f.poolSize = lay.poolBase, lay.spares
+	f.l2p = make([]int, lay.nl)
+	f.p2l = make([]int, spec.NumPages)
+	for pp := range f.p2l {
+		f.p2l[pp] = -1
 	}
 	if err := f.recover(); err != nil {
 		return nil, err
@@ -135,12 +173,21 @@ func (f *FTL) NumPages() int { return len(f.l2p) }
 
 // ErasePage erases the physical page currently backing logical page lp.
 // Together with Read, Write, PageSize and NumPages this makes the FTL a
-// kvs backend, so the store's log can live on wear-leveled storage.
+// kvs backend, so the store's log can live on wear-leveled storage. A
+// worn-out erase retires the page onto a fresh spare (when the pool has
+// one), so the logical page comes back blank and healthy.
 func (f *FTL) ErasePage(lp int) error {
 	if lp < 0 || lp >= len(f.l2p) {
 		return fmt.Errorf("%w: page %d", ErrBounds, lp)
 	}
-	return f.dev.Flash().ErasePage(f.l2p[lp])
+	err := f.dev.Flash().ErasePage(f.l2p[lp])
+	if err != nil && f.poolSize > 0 &&
+		(errors.Is(err, flash.ErrWornOut) || errors.Is(err, flash.ErrPageRetired)) {
+		if rerr := f.retirePhys(f.l2p[lp], true); rerr == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 // MapOverheadBytes returns the RAM the translation table consumes — the
@@ -171,14 +218,41 @@ func (f *FTL) Read(laddr int, dst []byte) error {
 // then runs the wear-leveling check on the pages the write touched —
 // leveling chases the hot data, not global wear statistics, so cold pages
 // are never churned against each other.
+//
+// When a page fails with the health gate's ErrExactDegraded (or wears out
+// mid-write) and the spare pool has a replacement, the physical page is
+// retired — its repaired contents move to a spare — and the write retries
+// once on the healthy page.
 func (f *FTL) Write(laddr int, data []byte) error {
+	ps := f.dev.Flash().Spec().PageSize
 	var touched []int
-	err := f.forEachPage(laddr, len(data), func(paddr, off, n int) error {
-		touched = append(touched, paddr/f.dev.Flash().Spec().PageSize)
-		return f.dev.Write(paddr, data[off:off+n])
-	})
-	if err != nil {
-		return err
+	off := 0
+	n := len(data)
+	for n > 0 {
+		paddr, err := f.Translate(laddr)
+		if err != nil {
+			return err
+		}
+		run := ps - laddr%ps
+		if run > n {
+			run = n
+		}
+		werr := f.dev.Write(paddr, data[off:off+run])
+		if werr != nil && f.poolSize > 0 && retirableWriteErr(werr) {
+			pp := paddr / ps
+			if rerr := f.retirePhys(pp, false); rerr == nil {
+				// The logical page moved; retry once on its new home.
+				paddr, _ = f.Translate(laddr)
+				werr = f.dev.Write(paddr, data[off:off+run])
+			}
+		}
+		if werr != nil {
+			return werr
+		}
+		touched = append(touched, paddr/ps)
+		laddr += run
+		off += run
+		n -= run
 	}
 	for _, p := range touched {
 		if err := f.levelWear(p); err != nil {
@@ -186,6 +260,16 @@ func (f *FTL) Write(laddr int, data []byte) error {
 		}
 	}
 	return nil
+}
+
+// retirableWriteErr reports whether a write failure is fixed by moving the
+// page onto a spare: the health gate refusing a degraded page, the page
+// wearing out under the write, or the page being fenced (possible after a
+// crash rolled the map back to a since-retired page).
+func retirableWriteErr(err error) bool {
+	return errors.Is(err, core.ErrExactDegraded) ||
+		errors.Is(err, flash.ErrWornOut) ||
+		errors.Is(err, flash.ErrPageRetired)
 }
 
 // forEachPage splits [laddr, laddr+n) into per-page runs and calls fn with
@@ -212,26 +296,31 @@ func (f *FTL) forEachPage(laddr, n int, fn func(paddr, off, n int) error) error 
 	return nil
 }
 
-// levelWear swaps the just-written physical page with the coldest page
-// when their wear gap exceeds the threshold. A journaled FTL only levels
-// inside its data region — the journal pages are not remappable.
+// levelWear swaps the just-written physical page with the coldest mapped
+// page when their wear gap exceeds the threshold. Only mapped pages are
+// candidates: journal metadata is not remappable, free spares must stay
+// blank for retirement, and retired pages are out of service. The wear
+// figures come from one consistent WearSnapshot rather than per-page lock
+// round-trips.
 func (f *FTL) levelWear(hot int) error {
 	fl := f.dev.Flash()
-	n := fl.Spec().NumPages
-	if f.journaled {
-		n = f.lay.nl
-	}
-	cold := 0
+	snap := fl.WearSnapshot()
+	cold := -1
 	var coldW uint32
-	first := true
-	for p := 0; p < n; p++ {
-		w := fl.Wear(p)
-		if first || w < coldW {
-			cold, coldW = p, w
+	for _, pp := range f.l2p {
+		if fl.Degraded(pp) || fl.AtRating(pp) {
+			continue
 		}
-		first = false
+		if cold < 0 || snap[pp] < coldW {
+			cold, coldW = pp, snap[pp]
+		}
 	}
-	if hot == cold || fl.Wear(hot)-coldW < f.swapDelta {
+	// A swap rewrites both pages, so a degraded endpoint could tear the
+	// exchange mid-way (the health gate refuses the second write after the
+	// first landed). An at-rating endpoint is as bad: the erase the swap
+	// needs is the one that corrupts it — that page's future is retirement,
+	// not relocation. Leveling is an optimisation; skip rather than risk it.
+	if cold < 0 || hot == cold || fl.Degraded(hot) || fl.AtRating(hot) || snap[hot]-coldW < f.swapDelta {
 		return nil
 	}
 	if f.journaled {
@@ -270,14 +359,13 @@ func (f *FTL) swap(a, b int) error {
 // WearSpread returns (max wear, mean wear) across physical pages — the
 // leveling quality metric; device lifetime ends at max wear.
 func (f *FTL) WearSpread() (max uint32, mean float64) {
-	fl := f.dev.Flash()
+	snap := f.dev.Flash().WearSnapshot()
 	var sum uint64
-	for p := 0; p < fl.Spec().NumPages; p++ {
-		w := fl.Wear(p)
+	for _, w := range snap {
 		if w > max {
 			max = w
 		}
 		sum += uint64(w)
 	}
-	return max, float64(sum) / float64(fl.Spec().NumPages)
+	return max, float64(sum) / float64(len(snap))
 }

@@ -16,6 +16,7 @@
 //	nl+1                          intent log
 //	nl+2 … nl+2+mapPages          checkpoint slot 0
 //	…    … nl+2+2*mapPages        checkpoint slot 1
+//	poolBase … poolBase+spares    retirement pool (WithSpares)
 //
 // Checkpoint blob: seq(4, LE) | l2p entries (2 bytes LE each) | crc32(4, LE).
 // Intent record:   magic(0xF7) | seq(4) | a(2) | b(2) | crcA(4) | crcB(4) | crc32(4).
@@ -66,24 +67,34 @@ type layout struct {
 	intent   int // intent log page
 	mapPages int // pages per checkpoint slot
 	slot     [2]int
+	poolBase int // first retirement-pool page
+	spares   int // retirement-pool size
 }
 
 // mapBlobSize returns the checkpoint blob size for nl logical pages.
 func mapBlobSize(nl int) int { return 4 + 2*nl + 4 }
 
 // computeLayout reserves the largest possible logical space that still
-// leaves room for spare + intent + two checkpoint slots.
-func computeLayout(ps, np int) (layout, error) {
-	for nl := np - 4; nl > 0; nl-- {
+// leaves room for spare + intent + two checkpoint slots + the retirement
+// pool. With ns == 0 the layout is identical to one computed before spare
+// pools existed, so old checkpoint blobs remain readable.
+func computeLayout(ps, np, ns int) (layout, error) {
+	if ns < 0 {
+		ns = 0
+	}
+	for nl := np - 4 - ns; nl > 0; nl-- {
 		mp := (mapBlobSize(nl) + ps - 1) / ps
-		if nl+2+2*mp <= np {
+		if nl+2+2*mp+ns <= np {
 			l := layout{ps: ps, nl: nl, spare: nl, intent: nl + 1, mapPages: mp}
 			l.slot[0] = nl + 2
 			l.slot[1] = nl + 2 + mp
+			l.poolBase = nl + 2 + 2*mp
+			l.spares = ns
 			return l, nil
 		}
 	}
-	return layout{}, fmt.Errorf("%w: %d pages of %d bytes", ErrNoJournalSpace, np, ps)
+	return layout{}, fmt.Errorf("%w: %d pages of %d bytes (%d spares)",
+		ErrNoJournalSpace, np, ps, ns)
 }
 
 // recover mounts the journaled map: pick the newest valid checkpoint,
@@ -151,6 +162,16 @@ func (f *FTL) recover() error {
 		f.intentOff = 0
 		f.stats.IntentErases++
 	}
+
+	// Re-fence retired pages. The retired set is not persisted separately:
+	// a data page absent from the recovered map was retired onto a spare,
+	// so the flash-level fence (lost across remount) is rebuilt here.
+	fl := f.dev.Flash()
+	for pp := 0; pp < lay.nl; pp++ {
+		if f.p2l[pp] == -1 {
+			_ = fl.Retire(pp)
+		}
+	}
 	return nil
 }
 
@@ -165,6 +186,10 @@ type intentRec struct {
 // interrupted, then commits a checkpoint at the intent's sequence so the
 // intent can never fire again.
 func (f *FTL) repairIntent(it intentRec) error {
+	if it.a == it.b {
+		// Not a swap: an in-place scrub refresh (endurance.go).
+		return f.repairRefresh(it)
+	}
 	fl := f.dev.Flash()
 	ca := f.pageCRC(it.a)
 	cb := f.pageCRC(it.b)
@@ -400,8 +425,10 @@ func (f *FTL) writeCheckpoint(slot int) error {
 }
 
 // readSlot loads and validates one checkpoint slot, applying single-bit
-// repair when the CRC fails. The map must be a permutation of the data
-// pages — anything else marks the slot invalid.
+// repair when the CRC fails. The map must be injective into the data
+// region plus the retirement pool — anything else marks the slot invalid.
+// (Data pages missing from the image are the retired ones; pool pages
+// missing from it are the free spares.)
 func (f *FTL) readSlot(slot int) ([]int, uint32, bool) {
 	fl := f.dev.Flash()
 	ps := f.lay.ps
@@ -424,10 +451,14 @@ func (f *FTL) readSlot(slot int) ([]int, uint32, bool) {
 		return nil, 0, false
 	}
 	m := make([]int, f.lay.nl)
-	seen := make([]bool, f.lay.nl)
+	seen := make([]bool, f.lay.nl+2+2*f.lay.mapPages+f.lay.spares)
+	validPhys := func(pp int) bool {
+		return pp < f.lay.nl ||
+			(pp >= f.lay.poolBase && pp < f.lay.poolBase+f.lay.spares)
+	}
 	for lp := range m {
 		pp := int(readU16(blob[4+2*lp:]))
-		if pp >= f.lay.nl || seen[pp] {
+		if pp >= len(seen) || !validPhys(pp) || seen[pp] {
 			return nil, 0, false
 		}
 		m[lp] = pp

@@ -19,7 +19,7 @@ func journalSpec() flash.Spec {
 }
 
 func TestComputeLayout(t *testing.T) {
-	lay, err := computeLayout(32, 16)
+	lay, err := computeLayout(32, 16, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,8 +29,24 @@ func TestComputeLayout(t *testing.T) {
 	if lay.slot[0] != 14 || lay.slot[1] != 15 {
 		t.Errorf("unexpected slots: %+v", lay.slot)
 	}
-	if _, err := computeLayout(32, 3); err == nil {
+	if _, err := computeLayout(32, 3, 0); err == nil {
 		t.Error("want error for a device too small to journal")
+	}
+
+	// Reserving spares shrinks the logical space and appends the pool after
+	// the checkpoint slots.
+	lay, err = computeLayout(32, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.nl != 10 || lay.poolBase != 14 || lay.spares != 2 {
+		t.Errorf("unexpected spared layout: %+v", lay)
+	}
+	if lay.poolBase+lay.spares != 16 {
+		t.Errorf("pool overruns device: %+v", lay)
+	}
+	if _, err := computeLayout(32, 16, 13); err == nil {
+		t.Error("want error when spares leave no room for data")
 	}
 }
 

@@ -54,6 +54,12 @@ var (
 	ErrFull     = errors.New("kvs: store full even after compaction")
 	ErrBadKey   = errors.New("kvs: keys must be 1..255 bytes")
 	ErrCorrupt  = errors.New("kvs: record corrupt beyond single-bit repair")
+
+	// ErrDeviceReadOnly reports that writes failed because the flash
+	// underneath is exhausted — pages are out of service faster than they
+	// can be reclaimed — not because the store is logically full. Committed
+	// data stays readable; this is the graceful end of the device's life.
+	ErrDeviceReadOnly = errors.New("kvs: device exhausted, store is read-only")
 )
 
 // Backend is the storage surface the store runs on. core.Device satisfies
@@ -426,10 +432,13 @@ func (s *Store) append(key string, val []byte, flags byte) error {
 		page, off, err := s.reserve(size)
 		if errors.Is(err, ErrFull) {
 			if gcBudget == 0 || s.inGC {
-				return err
+				return s.fullErr()
 			}
 			gcBudget--
 			if err := s.gc(); err != nil {
+				if errors.Is(err, ErrFull) {
+					return s.fullErr()
+				}
 				return err
 			}
 			continue
@@ -446,6 +455,22 @@ func (s *Store) append(key string, val []byte, flags byte) error {
 		}
 		// The landing zone has a stuck cell: the page tail is retired
 		// (commit did that); try again on fresh space.
+	}
+	return s.fullErr()
+}
+
+// fullErr classifies a terminal append failure: when unreclaimable pages
+// have eaten the free pool, the store is read-only because the device is
+// exhausted; otherwise it is logically full.
+func (s *Store) fullErr() error {
+	bad := 0
+	for _, b := range s.pageBad {
+		if b {
+			bad++
+		}
+	}
+	if bad > 0 && len(s.freePages()) == 0 {
+		return fmt.Errorf("%w: %d of %d pages out of service", ErrDeviceReadOnly, bad, s.np)
 	}
 	return ErrFull
 }
@@ -534,7 +559,7 @@ func (s *Store) openPage(p int) error {
 			continue
 		}
 		if err := s.b.Write(s.pageBase(cand), hdr[:]); err != nil {
-			if errors.Is(err, flash.ErrNeedsErase) {
+			if errors.Is(err, flash.ErrNeedsErase) || degradedWriteErr(err) {
 				s.quarantineFree(cand)
 				continue
 			}
@@ -583,9 +608,10 @@ func (s *Store) commit(key string, page, off int, rec []byte, flags byte) error 
 		return errVerifyMismatch
 	}
 	if err := s.b.Write(base+off, rec); err != nil {
-		if errors.Is(err, flash.ErrNeedsErase) {
-			// A silently stuck cell under the landing zone: abandon
-			// the page tail rather than erase over live records.
+		if errors.Is(err, flash.ErrNeedsErase) || degradedWriteErr(err) {
+			// A silently stuck cell under the landing zone, or the health
+			// gate refusing a degraded page: abandon the page tail rather
+			// than erase over live records.
 			s.stats.VerifyFailures++
 			s.retireTail(page)
 			return errVerifyMismatch
@@ -613,6 +639,14 @@ func (s *Store) commit(key string, page, off int, rec []byte, flags byte) error 
 	}
 	s.pageLive[page] += len(rec)
 	return nil
+}
+
+// degradedWriteErr reports a write refused for page-health reasons: the
+// core health gate protecting exact data, or a page fenced off by
+// retirement. Both mean "this page is done", so the store routes around it
+// the same way it routes around a stuck cell.
+func degradedWriteErr(err error) bool {
+	return errors.Is(err, core.ErrExactDegraded) || errors.Is(err, flash.ErrPageRetired)
 }
 
 // quarantineFree takes a free page out of circulation after it failed to
@@ -683,7 +717,22 @@ func (s *Store) gc() error {
 		}
 	}
 	if err := s.b.ErasePage(victim); err != nil {
-		return err
+		if errors.Is(err, flash.ErrPowerLoss) {
+			return err
+		}
+		// The victim cannot be erased (worn out, fenced): its live records
+		// are already copied forward, so quarantine it as lost capacity
+		// instead of failing the append that triggered this GC.
+		s.pageBad[victim] = true
+		s.pageSeq[victim] = freeSeq
+		s.pageUsed[victim] = s.ps
+		s.pageLive[victim] = 0
+		s.stats.QuarantinedPages++
+		if s.head == victim {
+			s.head = -1
+		}
+		s.stats.Compactions++
+		return nil
 	}
 	s.pageSeq[victim] = freeSeq
 	s.pageUsed[victim] = 0
