@@ -29,7 +29,7 @@ var (
 	flags     = flag.NewFlagSet("flipbit", flag.ExitOnError)
 	quick     = flags.Bool("quick", false, "trim workloads for a fast run (shapes preserved)")
 	csvDir    = flags.String("csv", "", "also write each table as <dir>/<id>.csv")
-	benchJSON = flags.String("benchjson", "", "write the writepath JSON report to this path, plus BENCH_crashcampaign.json and BENCH_lifetime.json next to it")
+	benchJSON = flags.String("benchjson", "", "write the writepath JSON report to this path, plus BENCH_crashcampaign.json, BENCH_lifetime.json and BENCH_encode.json next to it")
 	faults    = flags.Bool("faults", false, "run a fault-injection campaign against the key-value store and print its outcome")
 	seed      = flags.Uint64("seed", 1, "campaign seed for -faults (same seed replays byte-identically)")
 	cycles    = flags.Int("cycles", 1000, "crash/reboot cycles for -faults")
@@ -143,6 +143,16 @@ func writeBenchJSON(path string, cfg bench.Config) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", ltPath)
+
+	ek, err := bench.RunEncodeKernel(cfg)
+	if err != nil {
+		return err
+	}
+	ekPath := filepath.Join(filepath.Dir(path), "BENCH_encode.json")
+	if err := writeJSONFile(ekPath, ek.WriteJSON); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", ekPath)
 	return nil
 }
 

@@ -63,6 +63,15 @@ type ControllerStats = core.Stats
 // previous cell contents.
 type Encoder = approx.Encoder
 
+// BatchEncoder is an Encoder with a compiled byte-at-a-time batch kernel:
+// EncodeSlice encodes a whole span in one call with statistics accumulated
+// in-kernel. The built-in 1-bit, n-bit and exact encoders implement it; the
+// controller engages it automatically on SLC devices.
+type BatchEncoder = approx.BatchEncoder
+
+// BatchStats are the aggregates a batch kernel computes while encoding.
+type BatchStats = approx.BatchStats
+
 // Width is the logical width of values stored in the approximatable region.
 type Width = bits.Width
 
@@ -145,6 +154,10 @@ func WithBanks(n int) Option { return core.WithBanks(n) }
 // WithObserver attaches an observer to the device's op-event bus at
 // construction, before any operation can be missed.
 func WithObserver(o Observer) Option { return core.WithObserver(o) }
+
+// WithScalarEncode forces the per-value reference encode path even when the
+// encoder has a batch kernel — for differential testing and benchmarking.
+func WithScalarEncode() Option { return core.WithScalarEncode() }
 
 // NewNBitEncoder returns the n-bit approximation encoder of Algorithm 2
 // (1 <= n <= 8). n = 2 is the paper's headline configuration.

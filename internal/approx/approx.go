@@ -75,10 +75,12 @@ func (OneBit) Approximate(previous, exact uint32, w bits.Width) uint32 {
 func (OneBit) Name() string { return "1-bit" }
 
 // NBit implements Algorithm 2: the n-bit approximation with an n-bit
-// lookahead window and a minimax-derived truth table.
+// lookahead window and a minimax-derived truth table. It also carries the
+// compiled batch kernel (kernel.go), so it satisfies BatchEncoder.
 type NBit struct {
 	n     int
 	table *Table
+	kern  *kernel
 }
 
 // tableCache holds the derived truth tables, one per window size; deriving
@@ -101,7 +103,7 @@ func NewNBit(n int) (*NBit, error) {
 	if n < 1 || n > MaxN {
 		return nil, fmt.Errorf("approx: n-bit window must be in [1,%d], got %d", MaxN, n)
 	}
-	return &NBit{n: n, table: cachedTable(n)}, nil
+	return &NBit{n: n, table: cachedTable(n), kern: cachedKernel(n)}, nil
 }
 
 // MustNBit is NewNBit for static configurations known to be valid.

@@ -43,3 +43,56 @@ func BenchmarkDeriveTable8(b *testing.B) {
 		DeriveTable(8)
 	}
 }
+
+// Batch-kernel benchmarks (kernel.go): EncodeSlice against the scalar
+// per-value reference loop over the same 4 KiB span. The scalar variants
+// replicate what the controller's encode stage did before the kernels —
+// LoadLE + interface Approximate + StoreLE per value.
+
+func benchSpans(n int) (prev, exact, approx []byte) {
+	rng := xrand.New(1)
+	prev = make([]byte, n)
+	exact = make([]byte, n)
+	approx = make([]byte, n)
+	for i := range prev {
+		prev[i], exact[i] = rng.Byte(), rng.Byte()
+	}
+	return prev, exact, approx
+}
+
+func benchEncodeSlice(b *testing.B, enc BatchEncoder, w bits.Width) {
+	b.Helper()
+	prev, exact, approx := benchSpans(4096)
+	enc.EncodeSlice(prev, exact, approx, w) // derive lazy LUTs up front
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.EncodeSlice(prev, exact, approx, w)
+	}
+}
+
+func benchEncodeScalarSpan(b *testing.B, enc Encoder, w bits.Width) {
+	b.Helper()
+	prev, exact, approx := benchSpans(4096)
+	vb := w.Bytes()
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j+vb <= len(exact); j += vb {
+			p := bits.LoadLE(prev[j:], w)
+			e := bits.LoadLE(exact[j:], w)
+			bits.StoreLE(approx[j:], enc.Approximate(p, e, w), w)
+		}
+	}
+}
+
+func BenchmarkEncodeSliceOneBitW32(b *testing.B) { benchEncodeSlice(b, OneBit{}, bits.W32) }
+func BenchmarkEncodeSliceNBit2W8(b *testing.B)   { benchEncodeSlice(b, MustNBit(2), bits.W8) }
+func BenchmarkEncodeSliceNBit2W32(b *testing.B)  { benchEncodeSlice(b, MustNBit(2), bits.W32) }
+func BenchmarkEncodeSliceNBit8W32(b *testing.B)  { benchEncodeSlice(b, MustNBit(8), bits.W32) }
+func BenchmarkEncodeSliceExactW32(b *testing.B)  { benchEncodeSlice(b, Exact{}, bits.W32) }
+
+func BenchmarkEncodeScalarOneBitW32(b *testing.B) { benchEncodeScalarSpan(b, OneBit{}, bits.W32) }
+func BenchmarkEncodeScalarNBit2W8(b *testing.B)   { benchEncodeScalarSpan(b, MustNBit(2), bits.W8) }
+func BenchmarkEncodeScalarNBit2W32(b *testing.B)  { benchEncodeScalarSpan(b, MustNBit(2), bits.W32) }
+func BenchmarkEncodeScalarNBit8W32(b *testing.B)  { benchEncodeScalarSpan(b, MustNBit(8), bits.W32) }

@@ -21,6 +21,14 @@ func (t *ErrorTracker) Add(exact, approx uint32) {
 	t.count++
 }
 
+// AddBatch folds the sums a batch kernel computed in-kernel (BatchStats)
+// into the tracker, equivalent to count individual Add calls.
+func (t *ErrorTracker) AddBatch(count, sumAbs, sumSq uint64) {
+	t.sumAbs += sumAbs
+	t.sumSq += sumSq
+	t.count += count
+}
+
 // Reset clears the accumulator, as the hardware does between pages.
 func (t *ErrorTracker) Reset() { *t = ErrorTracker{} }
 

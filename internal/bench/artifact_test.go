@@ -53,6 +53,21 @@ func TestValidateArtifactRejects(t *testing.T) {
 		{"writepath below 2x at banks", "writepath",
 			`{"banks":4,"rows":[{"workers":1,"ops":10,"device_ops_per_sec":1,"speedup_vs_1_worker":1},
 			                    {"workers":4,"ops":10,"device_ops_per_sec":1.5,"speedup_vs_1_worker":1.5}]}`},
+		{"encode below 3x on nbit", "encode",
+			`{"seed":1,"span_bytes":4096,"e2e_ops":100,"e2e_scalar_ns_per_op":200,"e2e_kernel_ns_per_op":100,
+			  "e2e_speedup":2,"stats_match":true,
+			  "rows":[{"encoder":"nbit2","family":"nbit","width_bits":8,"values":4096,
+			           "scalar_ns_per_value":10,"kernel_ns_per_value":5,"speedup":2}]}`},
+		{"encode stats mismatch", "encode",
+			`{"seed":1,"span_bytes":4096,"e2e_ops":100,"e2e_scalar_ns_per_op":200,"e2e_kernel_ns_per_op":100,
+			  "e2e_speedup":2,"stats_match":false,
+			  "rows":[{"encoder":"nbit2","family":"nbit","width_bits":8,"values":4096,
+			           "scalar_ns_per_value":50,"kernel_ns_per_value":5,"speedup":10}]}`},
+		{"encode e2e regression", "encode",
+			`{"seed":1,"span_bytes":4096,"e2e_ops":100,"e2e_scalar_ns_per_op":100,"e2e_kernel_ns_per_op":200,
+			  "e2e_speedup":0.5,"stats_match":true,
+			  "rows":[{"encoder":"nbit2","family":"nbit","width_bits":8,"values":4096,
+			           "scalar_ns_per_value":50,"kernel_ns_per_value":5,"speedup":10}]}`},
 	}
 	for _, tc := range cases {
 		if err := ValidateArtifact(tc.kind, []byte(tc.doc)); err == nil {

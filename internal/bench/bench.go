@@ -136,6 +136,7 @@ func Registry() []Experiment {
 		{"exp-wear", "wear leveling × FlipBit composition (§II-B)", ExpWear},
 		{"exp-harvest", "energy-harvesting checkpoint progress (§VI)", ExpHarvest},
 		{"writepath", "bank-sharded commit throughput, serial vs concurrent", ExpWritePath},
+		{"encodekernel", "batch encode kernels vs scalar per-value encoding", ExpEncodeKernel},
 		{"crashcampaign", "fault-injection campaign: crash/reboot survival and recovery cost", ExpCrashCampaign},
 		{"lifetime", "writes to first data loss: unmanaged vs endurance-managed", ExpLifetime},
 	}

@@ -284,6 +284,26 @@ func TestWritePathShape(t *testing.T) {
 	}
 }
 
+// TestEncodeKernelShape runs the encodekernel experiment at quick scale and
+// requires the report to satisfy its own artifact schema: n-bit kernels
+// ≥3× scalar, no end-to-end regression, and both paths in exact agreement.
+func TestEncodeKernelShape(t *testing.T) {
+	rep, err := RunEncodeKernel(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.StatsMatch {
+		t.Fatal("kernel and scalar paths diverged")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateArtifact("encode", buf.Bytes()); err != nil {
+		t.Errorf("quick-scale report fails its own schema: %v", err)
+	}
+}
+
 func TestGeomean(t *testing.T) {
 	if g := geomean([]float64{4, 1}); g != 2 {
 		t.Errorf("geomean(4,1) = %v", g)

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/flipbit-sim/flipbit/internal/approx"
+	"github.com/flipbit-sim/flipbit/internal/bits"
+	"github.com/flipbit-sim/flipbit/internal/core"
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+// The encodekernel experiment measures the table-driven batch encode
+// kernels (internal/approx/kernel.go) against the per-value scalar
+// reference path, at two levels:
+//
+//   - micro: EncodeSlice versus a LoadLE/Approximate/StoreLE loop over the
+//     same random span, per encoder and width — the encode stage in
+//     isolation;
+//   - end-to-end: the serial write-path workload replayed on two devices,
+//     one on the kernels (the default) and one forced onto the scalar path
+//     with core.WithScalarEncode, with the controller statistics of both
+//     required to match exactly.
+//
+// Results land in BENCH_encode.json; validateEncode pins the acceptance
+// invariants (≥3× on an n-bit micro row, e2e speedup ≥1, stats matched).
+
+// EncodeKernelRow is one micro-benchmark configuration.
+type EncodeKernelRow struct {
+	Encoder          string  `json:"encoder"`
+	Family           string  `json:"family"` // "nbit", "onebit" or "exact"
+	WidthBits        int     `json:"width_bits"`
+	Values           int     `json:"values"`
+	ScalarNsPerValue float64 `json:"scalar_ns_per_value"`
+	KernelNsPerValue float64 `json:"kernel_ns_per_value"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// EncodeKernelReport is the machine-readable result written to
+// BENCH_encode.json.
+type EncodeKernelReport struct {
+	Seed      uint64            `json:"seed"`
+	SpanBytes int               `json:"span_bytes"`
+	GoMaxProc int               `json:"gomaxprocs"`
+	Rows      []EncodeKernelRow `json:"rows"`
+
+	E2EOps           int     `json:"e2e_ops"`
+	E2EScalarNsPerOp float64 `json:"e2e_scalar_ns_per_op"`
+	E2EKernelNsPerOp float64 `json:"e2e_kernel_ns_per_op"`
+	E2ESpeedup       float64 `json:"e2e_speedup"`
+	StatsMatch       bool    `json:"stats_match"`
+}
+
+// encodeKernelConfigs are the measured (encoder, width) pairs: the hot
+// n-bit encoders at the widths the workloads use, plus OneBit and Exact.
+func encodeKernelConfigs() []struct {
+	enc    approx.Encoder
+	family string
+	w      bits.Width
+} {
+	return []struct {
+		enc    approx.Encoder
+		family string
+		w      bits.Width
+	}{
+		{approx.OneBit{}, "onebit", bits.W32},
+		{approx.MustNBit(2), "nbit", bits.W8},
+		{approx.MustNBit(2), "nbit", bits.W32},
+		{approx.MustNBit(8), "nbit", bits.W32},
+		{approx.Exact{}, "exact", bits.W32},
+	}
+}
+
+// RunEncodeKernel measures the kernels and returns the report.
+func RunEncodeKernel(cfg Config) (*EncodeKernelReport, error) {
+	const seed = 0xE4C0
+	const span = 4096
+	reps := 400
+	e2eOps := 8192
+	if cfg.Quick {
+		reps = 50
+		e2eOps = 2048
+	}
+	rep := &EncodeKernelReport{
+		Seed:       seed,
+		SpanBytes:  span,
+		GoMaxProc:  runtime.GOMAXPROCS(0),
+		StatsMatch: true,
+	}
+
+	rng := xrand.New(seed)
+	prev := make([]byte, span)
+	exact := make([]byte, span)
+	kernelOut := make([]byte, span)
+	scalarOut := make([]byte, span)
+	for i := range prev {
+		prev[i], exact[i] = rng.Byte(), rng.Byte()
+	}
+
+	for _, c := range encodeKernelConfigs() {
+		be, ok := c.enc.(approx.BatchEncoder)
+		if !ok {
+			return nil, fmt.Errorf("%s has no batch kernel", c.enc.Name())
+		}
+		vb := c.w.Bytes()
+		values := span / vb
+
+		be.EncodeSlice(prev, exact, kernelOut, c.w) // derive lazy LUTs up front
+		kStart := time.Now()
+		for r := 0; r < reps; r++ {
+			be.EncodeSlice(prev, exact, kernelOut, c.w)
+		}
+		kernelNs := float64(time.Since(kStart).Nanoseconds()) / float64(reps*values)
+
+		sStart := time.Now()
+		for r := 0; r < reps; r++ {
+			for i := 0; i+vb <= span; i += vb {
+				p := bits.LoadLE(prev[i:], c.w)
+				e := bits.LoadLE(exact[i:], c.w)
+				bits.StoreLE(scalarOut[i:], c.enc.Approximate(p, e, c.w), c.w)
+			}
+		}
+		scalarNs := float64(time.Since(sStart).Nanoseconds()) / float64(reps*values)
+
+		// The speedup claim is only meaningful if both paths computed the
+		// same thing; a mismatch poisons the whole artifact.
+		if !bytes.Equal(kernelOut, scalarOut) {
+			rep.StatsMatch = false
+		}
+
+		rep.Rows = append(rep.Rows, EncodeKernelRow{
+			Encoder:          c.enc.Name(),
+			Family:           c.family,
+			WidthBits:        int(c.w),
+			Values:           values,
+			ScalarNsPerValue: scalarNs,
+			KernelNsPerValue: kernelNs,
+			Speedup:          scalarNs / kernelNs,
+		})
+	}
+
+	// End-to-end: the serial write-path workload on a kernel device versus
+	// a scalar-forced device. Same plan, same seed, same threshold.
+	spec := writePathSpec()
+	plan := newWritePathPlan(spec, spec.Banks, e2eOps)
+	warm := newWritePathPlan(spec, spec.Banks, 256*spec.Banks)
+	run := func(opts ...core.Option) (time.Duration, core.Stats, error) {
+		d, err := core.NewDevice(spec, opts...)
+		if err != nil {
+			return 0, core.Stats{}, err
+		}
+		if err := d.SetApproxRegion(0, spec.Size()); err != nil {
+			return 0, core.Stats{}, err
+		}
+		d.SetThreshold(4)
+		warm.run(d, 1)
+		d.ResetStats()
+		elapsed, _, _ := plan.run(d, 1)
+		return elapsed, d.Stats(), nil
+	}
+	kElapsed, kStats, err := run()
+	if err != nil {
+		return nil, err
+	}
+	sElapsed, sStats, err := run(core.WithScalarEncode())
+	if err != nil {
+		return nil, err
+	}
+	ops := (e2eOps / spec.Banks) * spec.Banks
+	rep.E2EOps = ops
+	rep.E2EKernelNsPerOp = float64(kElapsed.Nanoseconds()) / float64(ops)
+	rep.E2EScalarNsPerOp = float64(sElapsed.Nanoseconds()) / float64(ops)
+	rep.E2ESpeedup = rep.E2EScalarNsPerOp / rep.E2EKernelNsPerOp
+	if kStats != sStats {
+		rep.StatsMatch = false
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *EncodeKernelReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ExpEncodeKernel is the registry wrapper: the report as a rendered table.
+func ExpEncodeKernel(cfg Config) (*Table, error) {
+	rep, err := RunEncodeKernel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "encodekernel",
+		Title:   "batch encode kernels vs scalar per-value encoding",
+		Columns: []string{"encoder", "width", "scalar ns/val", "kernel ns/val", "speedup"},
+	}
+	for _, r := range rep.Rows {
+		t.AddRow(r.Encoder, fmt.Sprintf("%d", r.WidthBits),
+			f2(r.ScalarNsPerValue), f2(r.KernelNsPerValue),
+			fmt.Sprintf("%.1fx", r.Speedup))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("end-to-end serial write path: scalar %.0f ns/op, kernel %.0f ns/op (%.2fx), stats match: %v",
+			rep.E2EScalarNsPerOp, rep.E2EKernelNsPerOp, rep.E2ESpeedup, rep.StatsMatch),
+		"kernel path: one EncodeSlice per page span with in-kernel stats; scalar path: LoadLE + Approximate + StoreLE per value",
+		"outputs of both paths are compared in-run; a divergence clears stats_match and invalidates the artifact")
+	return t, nil
+}

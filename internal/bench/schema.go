@@ -20,12 +20,13 @@ var artifactSchemas = map[string]func(doc map[string]any) error{
 	"writepath":     validateWritePath,
 	"crashcampaign": validateCrashCampaign,
 	"lifetime":      validateLifetime,
+	"encode":        validateEncode,
 }
 
 // ArtifactKinds lists every artifact stem a repo checkout is expected to
 // carry, in a stable order.
 func ArtifactKinds() []string {
-	return []string{"writepath", "crashcampaign", "lifetime"}
+	return []string{"writepath", "crashcampaign", "lifetime", "encode"}
 }
 
 // ValidateArtifact parses data as the named artifact kind (a stem from
@@ -117,6 +118,53 @@ func validateWritePath(doc map[string]any) error {
 		return nil
 	}
 	return fmt.Errorf("no row with workers == banks (%d)", int(banks))
+}
+
+func validateEncode(doc map[string]any) error {
+	for _, f := range []string{"seed", "span_bytes", "e2e_ops", "e2e_scalar_ns_per_op", "e2e_kernel_ns_per_op", "e2e_speedup"} {
+		if _, err := num(doc, f); err != nil {
+			return err
+		}
+	}
+	// Invariant: the speedup claim is void unless both paths computed
+	// identical outputs and identical controller statistics.
+	match, ok := doc["stats_match"].(bool)
+	if !ok {
+		return fmt.Errorf("missing stats_match flag")
+	}
+	if !match {
+		return fmt.Errorf("kernel and scalar paths diverged; artifact is invalid")
+	}
+	rs, err := rows(doc)
+	if err != nil {
+		return err
+	}
+	if err := requireNums(rs, "width_bits", "values", "scalar_ns_per_value", "kernel_ns_per_value", "speedup"); err != nil {
+		return err
+	}
+	// Invariants: the tentpole claim — at least one n-bit micro row shows
+	// a ≥3× kernel speedup — and the end-to-end write path did not regress.
+	bestNBit := 0.0
+	for i, r := range rs {
+		fam, ok := r["family"].(string)
+		if !ok {
+			return fmt.Errorf("rows[%d]: missing family name", i)
+		}
+		if _, ok := r["encoder"].(string); !ok {
+			return fmt.Errorf("rows[%d]: missing encoder name", i)
+		}
+		sp, _ := num(r, "speedup")
+		if fam == "nbit" && sp > bestNBit {
+			bestNBit = sp
+		}
+	}
+	if bestNBit < 3 {
+		return fmt.Errorf("best n-bit kernel speedup is %.2f, want >= 3", bestNBit)
+	}
+	if e2e, _ := num(doc, "e2e_speedup"); e2e < 1 {
+		return fmt.Errorf("end-to-end write path regressed: e2e_speedup %.2f < 1", e2e)
+	}
+	return nil
 }
 
 func validateCrashCampaign(doc map[string]any) error {

@@ -7,6 +7,7 @@
 package bits
 
 import (
+	"encoding/binary"
 	"fmt"
 	mathbits "math/bits"
 )
@@ -91,6 +92,14 @@ func Field(v uint32, hi, n int) uint32 {
 
 // LoadLE assembles a little-endian value of the given width from b.
 func LoadLE(b []byte, w Width) uint32 {
+	switch w {
+	case W8:
+		return uint32(b[0])
+	case W16:
+		return uint32(binary.LittleEndian.Uint16(b))
+	case W32:
+		return binary.LittleEndian.Uint32(b)
+	}
 	var v uint32
 	for i := w.Bytes() - 1; i >= 0; i-- {
 		v = v<<8 | uint32(b[i])
@@ -100,7 +109,35 @@ func LoadLE(b []byte, w Width) uint32 {
 
 // StoreLE writes v into b little-endian at the given width.
 func StoreLE(b []byte, v uint32, w Width) {
-	for i := 0; i < w.Bytes(); i++ {
-		b[i] = byte(v >> uint(8*i))
+	switch w {
+	case W8:
+		b[0] = byte(v)
+	case W16:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case W32:
+		binary.LittleEndian.PutUint32(b, v)
+	default:
+		for i := 0; i < w.Bytes(); i++ {
+			b[i] = byte(v >> uint(8*i))
+		}
 	}
+}
+
+// SubsetBytes reports whether every set bit of v is also set in the
+// corresponding byte of of — the slice form of IsSubset, i.e. whether v is
+// reachable from of with 1→0 programs alone. The slices must have equal
+// length; the scan runs eight bytes per step.
+func SubsetBytes(v, of []byte) bool {
+	i := 0
+	for ; i+8 <= len(v); i += 8 {
+		if binary.LittleEndian.Uint64(v[i:])&^binary.LittleEndian.Uint64(of[i:]) != 0 {
+			return false
+		}
+	}
+	for ; i < len(v); i++ {
+		if v[i]&^of[i] != 0 {
+			return false
+		}
+	}
+	return true
 }

@@ -47,6 +47,55 @@ func BenchmarkApproxCommit(b *testing.B) {
 	}
 }
 
+// BenchmarkWritePathKernel measures the end-to-end approximate commit with
+// the batch encode kernels engaged (the default path on SLC).
+func BenchmarkWritePathKernel(b *testing.B) {
+	benchWritePath(b, false)
+}
+
+// BenchmarkWritePathScalar is the same workload forced onto the per-value
+// reference encode path; the delta against BenchmarkWritePathKernel is the
+// kernels' end-to-end impact.
+func BenchmarkWritePathScalar(b *testing.B) {
+	benchWritePath(b, true)
+}
+
+func benchWritePath(b *testing.B, scalar bool) {
+	b.Helper()
+	spec := flash.DefaultSpec()
+	spec.NumPages = 16
+	var opts []Option
+	if scalar {
+		opts = append(opts, WithScalarEncode())
+	}
+	d := MustNewDevice(spec, opts...)
+	if err := d.SetApproxRegion(0, spec.Size()); err != nil {
+		b.Fatal(err)
+	}
+	d.SetThreshold(255)
+	rng := xrand.New(9)
+	a := make([]byte, spec.PageSize)
+	c := make([]byte, spec.PageSize)
+	for i := range a {
+		a[i] = rng.Byte()
+		c[i] = byte(int(a[i]) + rng.Intn(5) - 2)
+	}
+	if err := d.Write(0, a); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(spec.PageSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := a
+		if i%2 == 1 {
+			buf = c
+		}
+		if err := d.Write(0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExactCommit measures a page session that erases every time.
 func BenchmarkExactCommit(b *testing.B) {
 	d, a, c := benchDevice(b, 0)

@@ -103,8 +103,16 @@ type Device struct {
 	regs registerFile
 	enc  approx.Encoder
 
+	// cell caches the flash spec's cell mode (immutable after
+	// construction) so the commit hot path never re-copies the Spec.
+	cell flash.CellMode
+
 	metric   ErrorMetric
 	fallback FallbackPolicy
+
+	// scalarEncode forces the per-value reference encode path even when
+	// the encoder carries a batch kernel (WithScalarEncode).
+	scalarEncode bool
 
 	// commitMu serializes commit sessions per bank; shards are the
 	// matching per-bank controller statistics, each guarded by its
@@ -193,6 +201,14 @@ func WithScrubber(cfg ScrubConfig) Option {
 	return func(d *Device) { d.scrubCfg = &cfg }
 }
 
+// WithScalarEncode forces the commit pipeline's per-value reference encode
+// path even when the configured encoder has a compiled batch kernel
+// (approx.BatchEncoder). The kernels are bit-identical to the scalar
+// encoders — property- and fuzz-tested — so this option exists for
+// differential testing and for measuring the kernels' end-to-end impact
+// (the encodekernel bench experiment), not for correctness.
+func WithScalarEncode() Option { return func(d *Device) { d.scalarEncode = true } }
+
 // NewDevice builds a FlipBit device over a fresh flash array described by
 // spec. The controller starts with approximation disabled (empty region),
 // width 8 and threshold 0.
@@ -212,6 +228,7 @@ func NewDevice(spec flash.Spec, opts ...Option) (*Device, error) {
 		return nil, err
 	}
 	d.fl = fl
+	d.cell = fl.Spec().Cell
 	for _, o := range d.observers {
 		fl.Attach(o)
 	}
@@ -555,8 +572,13 @@ func (s *session) apply() {
 	copy(s.bufs.exact[s.off:], s.data)
 }
 
-// encode rewrites the approx buffer value by value from (previous, exact),
-// tracking error over the values the CPU actually touched.
+// encode rewrites the approx buffer from (previous, exact), tracking error
+// over the values the CPU actually touched. When the encoder carries a
+// compiled batch kernel (approx.BatchEncoder) and the cells are SLC, the
+// whole span is encoded in one EncodeSlice call with the statistics
+// accumulated in-kernel; otherwise — MLC cells, encoders without kernels,
+// or WithScalarEncode — it falls back to the per-value reference loop,
+// which doubles as the differential-test oracle for the kernels.
 func (s *session) encode() encodeResult {
 	d := s.d
 	w := d.Width()
@@ -565,13 +587,63 @@ func (s *session) encode() encodeResult {
 	if hi > len(s.bufs.exact) {
 		hi = len(s.bufs.exact)
 	}
+	if d.cell == flash.SLC && !d.scalarEncode && (hi-lo)%vb == 0 {
+		if be, ok := d.enc.(approx.BatchEncoder); ok {
+			return s.encodeBatch(be, lo, hi, w)
+		}
+	}
+	// Devirtualize the hot encoders: the concrete-typed calls let the
+	// compiler skip the interface dispatch per value (and inline the
+	// trivial ones), which matters at one call per value per page.
+	switch enc := d.enc.(type) {
+	case approx.Exact:
+		return encodeScalarLoop(enc, s, lo, hi, w)
+	case approx.OneBit:
+		return encodeScalarLoop(enc, s, lo, hi, w)
+	case *approx.NBit:
+		return encodeScalarLoop(enc, s, lo, hi, w)
+	default:
+		return encodeScalarLoop(d.enc, s, lo, hi, w)
+	}
+}
+
+// encodeBatch runs the compiled kernel over the aligned dirty span and
+// converts its in-kernel statistics to an encodeResult. BatchStats carries
+// exactly the aggregates the scalar loop accumulates: the error sums feed
+// the tracker, MaxAbs reproduces the per-value threshold test (some value
+// exceeds the threshold iff the largest one does), and Unreachable mirrors
+// the per-value reachability check (kernel outputs are bitwise subsets of
+// previous, so it only fires for Exact on an unreachable span).
+func (s *session) encodeBatch(be approx.BatchEncoder, lo, hi int, w bits.Width) encodeResult {
+	d := s.d
+	st := be.EncodeSlice(s.bufs.previous[lo:hi], s.bufs.exact[lo:hi], s.bufs.approx[lo:hi], w)
 	var res encodeResult
-	cellMode := d.fl.Spec().Cell
+	res.tracker.AddBatch(st.Count, st.SumAbs, st.SumSq)
+	res.approximated = st.Approximated
+	res.unreachable = st.Unreachable
+	if d.fallback == FallbackPerValue {
+		threshold := d.regs[RegThreshold]
+		res.exceeded = threshold != ThresholdUnlimited &&
+			uint64(st.MaxAbs)<<ThresholdFracBits > uint64(threshold)
+	}
+	return res
+}
+
+// encodeScalarLoop is the per-value reference encode stage, generic over
+// the encoder's concrete type so session.encode's type switch devirtualizes
+// the Approximate call. Loop invariants (cell mode, threshold register,
+// fallback policy) are hoisted out of the loop.
+func encodeScalarLoop[E approx.Encoder](enc E, s *session, lo, hi int, w bits.Width) encodeResult {
+	d := s.d
+	vb := w.Bytes()
+	cell := d.cell
 	threshold := d.regs[RegThreshold]
+	perValue := d.fallback == FallbackPerValue && threshold != ThresholdUnlimited
+	var res encodeResult
 	for i := lo; i < hi; i += vb {
 		prev := bits.LoadLE(s.bufs.previous[i:], w)
 		exact := bits.LoadLE(s.bufs.exact[i:], w)
-		a := d.enc.Approximate(prev, exact, w)
+		a := enc.Approximate(prev, exact, w)
 		bits.StoreLE(s.bufs.approx[i:], a, w)
 		res.tracker.Add(exact, a)
 		if a != exact {
@@ -582,11 +654,10 @@ func (s *session) encode() encodeResult {
 		// the float32 encoder protecting sign/exponent bits, §VI);
 		// the hardware's per-page needs-erase signal forces the
 		// exact fallback in that case.
-		if !valueReachable(cellMode, prev, a, w) {
+		if !valueReachable(cell, prev, a, w) {
 			res.unreachable = true
 		}
-		if d.fallback == FallbackPerValue && threshold != ThresholdUnlimited &&
-			uint64(bits.AbsDiff(exact, a))<<ThresholdFracBits > uint64(threshold) {
+		if perValue && uint64(bits.AbsDiff(exact, a))<<ThresholdFracBits > uint64(threshold) {
 			res.exceeded = true
 		}
 	}
@@ -608,11 +679,19 @@ func (s *session) programApprox() error {
 }
 
 // needsErase reports whether committing the exact buffer requires an erase:
-// some bit needs a 0→1 transition only an erase can provide.
+// some bit needs a 0→1 transition only an erase can provide. The exact
+// buffer differs from previous only inside the dirty span the CPU stored
+// (load mirrors the page, apply overlays [off, off+len(data))), so only
+// that span is scanned — word-wise for SLC cells, where reachability is
+// the bitwise subset test over uint64 loads.
 func (s *session) needsErase() bool {
-	mode := s.d.fl.Spec().Cell
-	for i, v := range s.bufs.exact {
-		if !mode.Reachable(s.bufs.previous[i], v) {
+	lo, hi := s.off, s.off+len(s.data)
+	prev, exact := s.bufs.previous[lo:hi], s.bufs.exact[lo:hi]
+	if s.d.cell == flash.SLC {
+		return !bits.SubsetBytes(exact, prev)
+	}
+	for i, v := range exact {
+		if !s.d.cell.Reachable(prev[i], v) {
 			return true
 		}
 	}
@@ -656,8 +735,13 @@ func (d *Device) overThreshold(tr *approx.ErrorTracker, threshold uint32) bool {
 }
 
 // valueReachable reports whether a width-w value can move from `from` to
-// `to` with program pulses only, byte by byte under the cell mode.
+// `to` with program pulses only. For SLC that is one word-wise subset test
+// (to &^ from == 0, equivalent to the per-byte test since bytes don't
+// interact); MLC needs the per-byte cell-level walk.
 func valueReachable(m flash.CellMode, from, to uint32, w bits.Width) bool {
+	if m == flash.SLC {
+		return to&^from == 0
+	}
 	for i := 0; i < w.Bytes(); i++ {
 		if !m.Reachable(byte(from>>uint(8*i)), byte(to>>uint(8*i))) {
 			return false
