@@ -17,6 +17,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/flipbit-sim/flipbit/internal/bench"
@@ -26,61 +28,100 @@ import (
 // Flags live on their own FlagSet (not flag.CommandLine) so the usage
 // golden test sees exactly the program's flags, not the test binary's.
 var (
-	flags     = flag.NewFlagSet("flipbit", flag.ExitOnError)
-	quick     = flags.Bool("quick", false, "trim workloads for a fast run (shapes preserved)")
-	csvDir    = flags.String("csv", "", "also write each table as <dir>/<id>.csv")
-	benchJSON = flags.String("benchjson", "", "write the writepath JSON report to this path, plus BENCH_crashcampaign.json, BENCH_lifetime.json and BENCH_encode.json next to it")
-	faults    = flags.Bool("faults", false, "run a fault-injection campaign against the key-value store and print its outcome")
-	seed      = flags.Uint64("seed", 1, "campaign seed for -faults (same seed replays byte-identically)")
-	cycles    = flags.Int("cycles", 1000, "crash/reboot cycles for -faults")
-	onFTL     = flags.Bool("ftl", false, "run the -faults campaign through the journaled FTL with read-back verification")
-	scrub     = flags.Bool("scrub", false, "arm the background scrubber (and a 2-page spare pool with -ftl) during the -faults campaign")
-	lifetime  = flags.Bool("lifetime", false, "run the endurance lifetime experiment and print writes-to-first-data-loss per configuration")
+	flags      = flag.NewFlagSet("flipbit", flag.ExitOnError)
+	quick      = flags.Bool("quick", false, "trim workloads for a fast run (shapes preserved)")
+	csvDir     = flags.String("csv", "", "also write each table as <dir>/<id>.csv")
+	benchJSON  = flags.String("benchjson", "", "write the writepath JSON report to this path, plus BENCH_crashcampaign.json, BENCH_lifetime.json and BENCH_encode.json next to it")
+	faults     = flags.Bool("faults", false, "run a fault-injection campaign against the key-value store and print its outcome")
+	seed       = flags.Uint64("seed", 1, "campaign seed for -faults (same seed replays byte-identically)")
+	cycles     = flags.Int("cycles", 1000, "crash/reboot cycles for -faults")
+	onFTL      = flags.Bool("ftl", false, "run the -faults campaign through the journaled FTL with read-back verification")
+	scrub      = flags.Bool("scrub", false, "arm the background scrubber (and a 2-page spare pool with -ftl) during the -faults campaign")
+	lifetime   = flags.Bool("lifetime", false, "run the endurance lifetime experiment and print writes-to-first-data-loss per configuration")
+	cpuProfile = flags.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with 'go tool pprof')")
+	memProfile = flags.String("memprofile", "", "write a heap profile taken at exit to this file")
 )
 
+// main delegates to run so deferred profile writers execute before the
+// process exits — os.Exit inside run's body would skip them.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	flags.Usage = usage
 	_ = flags.Parse(os.Args[1:])
 	args := flags.Args()
 	cfg := bench.Config{Quick: *quick}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flipbit: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "flipbit: cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "flipbit: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "flipbit: memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	if *lifetime {
 		if err := runLifetime(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "flipbit: lifetime: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if len(args) == 0 && *benchJSON == "" && !*faults {
-			return
+			return 0
 		}
 	}
 	if *faults {
 		if err := runFaults(*seed, *cycles, *onFTL, *scrub); err != nil {
 			fmt.Fprintf(os.Stderr, "flipbit: faults: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if len(args) == 0 && *benchJSON == "" {
-			return
+			return 0
 		}
 	}
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "flipbit: benchjson: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if len(args) == 0 {
-			return
+			return 0
 		}
 	}
 	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 
 	if args[0] == "list" {
 		for _, e := range bench.Registry() {
 			fmt.Printf("  %-20s %s\n", e.ID, e.What)
 		}
-		return
+		return 0
 	}
 
 	var ids []string
@@ -95,23 +136,24 @@ func main() {
 		e := bench.ByID(id)
 		if e == nil {
 			fmt.Fprintf(os.Stderr, "flipbit: unknown experiment %q (try 'flipbit list')\n", id)
-			os.Exit(2)
+			return 2
 		}
 		start := time.Now()
 		tab, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flipbit: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		tab.Render(os.Stdout)
 		fmt.Printf("  (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, id, tab); err != nil {
 				fmt.Fprintf(os.Stderr, "flipbit: csv: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
+	return 0
 }
 
 func writeBenchJSON(path string, cfg bench.Config) error {
@@ -258,4 +300,5 @@ Regenerates the paper's tables and figures. Examples:
   flipbit -faults -ftl -scrub                 # same with the scrubber armed
   flipbit -lifetime                           # writes-to-first-data-loss comparison
   flipbit -benchjson BENCH_writepath.json     # machine-readable bench artifacts
+  flipbit -cpuprofile cpu.pprof -quick all    # profile the run for go tool pprof
 `

@@ -45,6 +45,7 @@ func crashCampaignScenarios(seed uint64, cycles int) []struct {
 	}{
 		{"kvs/power-loss", faultcampaign.Config{Seed: seed, Cycles: cycles, Mix: brownout}},
 		{"kvs/mixed", faultcampaign.Config{Seed: seed, Cycles: cycles}},
+		{"kvs/mixed+async", faultcampaign.Config{Seed: seed, Cycles: cycles, AsyncCommit: 8}},
 		{"kvs-on-ftl/mixed", faultcampaign.Config{Seed: seed, Cycles: cycles, UseFTL: true, Verify: true}},
 	}
 }

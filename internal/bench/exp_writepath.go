@@ -31,16 +31,42 @@ type WritePathRow struct {
 	Speedup         float64 `json:"speedup_vs_1_worker"`
 }
 
+// HostScalingRow is one measured configuration of the host-throughput
+// section: a drive mode (pipeline generation) at a bank count. host_speedup
+// is relative to the serial-legacy row of the same bank count — the
+// pre-sharding write path with per-byte op events, which is what this
+// codebase shipped before the event bus was sharded. On a single-CPU host
+// the speedup therefore measures the pipeline restructuring itself (event
+// batching, group commit, batch-kernel amortization), not parallel
+// hardware; with more CPUs the concurrent and async modes additionally
+// scale across banks.
+type HostScalingRow struct {
+	Mode            string  `json:"mode"` // serial-legacy | serial | concurrent | async
+	Banks           int     `json:"banks"`
+	Workers         int     `json:"workers"`
+	Depth           int     `json:"depth,omitempty"` // async queue depth
+	Ops             int     `json:"ops"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	HostSpeedup     float64 `json:"host_speedup"`
+	DeviceMillis    float64 `json:"device_ms"`
+	DeviceOpsPerSec float64 `json:"device_ops_per_sec"`
+}
+
 // WritePathReport is the machine-readable result written to
 // BENCH_writepath.json: serial (1 worker) versus multi-worker commit
-// throughput on a bank-sharded device.
+// throughput on a bank-sharded device, plus the host-scaling section
+// comparing pipeline generations across bank counts.
 type WritePathReport struct {
-	Banks     int            `json:"banks"`
-	PageSize  int            `json:"page_size"`
-	NumPages  int            `json:"num_pages"`
-	Threshold float64        `json:"threshold"`
-	GoMaxProc int            `json:"gomaxprocs"`
-	Rows      []WritePathRow `json:"rows"`
+	Banks       int              `json:"banks"`
+	PageSize    int              `json:"page_size"`
+	NumPages    int              `json:"num_pages"`
+	Threshold   float64          `json:"threshold"`
+	GoMaxProc   int              `json:"gomaxprocs"`
+	NumCPU      int              `json:"num_cpu"`
+	Rows        []WritePathRow   `json:"rows"`
+	HostScaling []HostScalingRow `json:"host_scaling"`
 }
 
 // writePathSpec is the device the commit benchmark runs against: the default
@@ -105,6 +131,14 @@ func newWritePathPlan(spec flash.Spec, banks, totalOps int) writePathPlan {
 // banks it is the busiest bank. Per-bank busy time is read from the stats
 // shards, so the figure is deterministic and independent of host CPU count.
 func (pl writePathPlan) run(d *core.Device, workers int) (elapsed time.Duration, allocs uint64, device time.Duration) {
+	return pl.runMode(d, workers, 0)
+}
+
+// runMode is run with an optional async pipeline: depth > 0 makes each
+// worker feed WriteAsync with a window of `depth` outstanding commits
+// (waiting the oldest when the window fills), then Flush inside the timed
+// region so every enqueued commit is accounted for.
+func (pl writePathPlan) runMode(d *core.Device, workers, depth int) (elapsed time.Duration, allocs uint64, device time.Duration) {
 	banks := len(pl.perBank)
 	type chunk struct {
 		bank  int
@@ -134,15 +168,36 @@ func (pl writePathPlan) run(d *core.Device, workers int) (elapsed time.Duration,
 		busyBefore[b] = d.Flash().BankStats(b).Busy
 	}
 
-	runtime.GC()
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
+	// Pre-spawn the workers parked on a start gate so goroutine stacks and
+	// scheduling structures are allocated outside the measured region —
+	// otherwise allocs/op grows with the worker count and the steady-state
+	// zero-allocation property of the commit path is unobservable.
+	ready := make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(chunks []chunk) {
 			defer wg.Done()
+			var window []*core.Commit
+			if depth > 0 {
+				window = make([]*core.Commit, 0, depth)
+			}
+			<-ready
+			if depth > 0 {
+				for _, c := range chunks {
+					for _, p := range c.pages {
+						if len(window) == depth {
+							_ = window[0].Wait()
+							window = window[:copy(window, window[1:])]
+						}
+						window = append(window, d.WriteAsync(d.Flash().PageBase(p), pl.payload))
+					}
+				}
+				for _, cm := range window {
+					_ = cm.Wait()
+				}
+				return
+			}
 			for _, c := range chunks {
 				for _, p := range c.pages {
 					_ = d.Write(d.Flash().PageBase(p), pl.payload)
@@ -150,7 +205,16 @@ func (pl writePathPlan) run(d *core.Device, workers int) (elapsed time.Duration,
 			}
 		}(perWorker[w])
 	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	close(ready)
 	wg.Wait()
+	if depth > 0 {
+		d.Flush()
+	}
 	elapsed = time.Since(start)
 	runtime.ReadMemStats(&after)
 
@@ -196,6 +260,7 @@ func RunWritePath(cfg Config) (*WritePathReport, error) {
 		NumPages:  spec.NumPages,
 		Threshold: 4,
 		GoMaxProc: runtime.GOMAXPROCS(0),
+		NumCPU:    runtime.NumCPU(),
 	}
 	plan := newWritePathPlan(spec, spec.Banks, totalOps)
 	warm := newWritePathPlan(spec, spec.Banks, 256*spec.Banks)
@@ -227,7 +292,90 @@ func RunWritePath(cfg Config) (*WritePathReport, error) {
 		rep.Rows[i].HostSpeedup = rep.Rows[i].OpsPerSec / hostBase
 		rep.Rows[i].Speedup = rep.Rows[i].DeviceOpsPerSec / devBase
 	}
+	if err := runHostScaling(cfg, rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// writePathAsyncDepth is the async-commit queue depth of the host-scaling
+// rows: deep enough that group commit forms full batches, shallow enough
+// that a Flush drains in microseconds.
+const writePathAsyncDepth = 8
+
+// runHostScaling measures the host-throughput section: the three pipeline
+// generations (per-byte events → sharded events → async group commit) at
+// bank counts 4, 8 and 16, each at GOMAXPROCS = NumCPU. The serial-legacy
+// row of each bank count is the baseline its host_speedup column divides
+// by.
+func runHostScaling(cfg Config, rep *WritePathReport) error {
+	totalOps := 40960
+	if cfg.Quick {
+		totalOps = 8192
+	}
+	modes := []struct {
+		mode    string
+		fanout  bool // workers = banks (otherwise 1)
+		depth   int
+		perByte bool
+	}{
+		{"serial-legacy", false, 0, true},
+		{"serial", false, 0, false},
+		{"concurrent", true, 0, false},
+		{"async", true, writePathAsyncDepth, false},
+	}
+	for _, banks := range []int{4, 8, 16} {
+		spec := writePathSpec()
+		spec.Banks = banks
+		plan := newWritePathPlan(spec, banks, totalOps)
+		warm := newWritePathPlan(spec, banks, 256*banks)
+		var base float64
+		for _, m := range modes {
+			opts := []core.Option{}
+			if m.depth > 0 {
+				opts = append(opts, core.WithAsyncCommit(m.depth))
+			}
+			dev, err := core.NewDevice(spec, opts...)
+			if err != nil {
+				return err
+			}
+			if err := dev.SetApproxRegion(0, spec.Size()); err != nil {
+				return err
+			}
+			dev.SetThreshold(rep.Threshold)
+			dev.Flash().SetPerByteEvents(m.perByte)
+			workers := 1
+			if m.fanout {
+				workers = banks
+			}
+			warm.runMode(dev, workers, m.depth)
+			elapsed, allocs, device := plan.runMode(dev, workers, m.depth)
+			if m.depth > 0 {
+				if err := dev.Close(); err != nil {
+					return err
+				}
+			}
+			ops := (totalOps / banks) * banks
+			row := HostScalingRow{
+				Mode:            m.mode,
+				Banks:           banks,
+				Workers:         workers,
+				Depth:           m.depth,
+				Ops:             ops,
+				NsPerOp:         float64(elapsed.Nanoseconds()) / float64(ops),
+				OpsPerSec:       float64(ops) / elapsed.Seconds(),
+				AllocsPerOp:     float64(allocs) / float64(ops),
+				DeviceMillis:    float64(device.Nanoseconds()) / 1e6,
+				DeviceOpsPerSec: float64(ops) / device.Seconds(),
+			}
+			if m.mode == "serial-legacy" {
+				base = row.OpsPerSec
+			}
+			row.HostSpeedup = row.OpsPerSec / base
+			rep.HostScaling = append(rep.HostScaling, row)
+		}
+	}
+	return nil
 }
 
 // WriteJSON renders the report as indented JSON.
@@ -259,5 +407,10 @@ func ExpWritePath(cfg Config) (*Table, error) {
 			rep.Banks, rep.NumPages/rep.Banks, rep.PageSize, rep.Threshold, rep.GoMaxProc),
 		"speedup is in simulated device time (banks overlap datasheet busy time); host wall-clock scaling additionally depends on CPU count",
 		"8 workers saturate: two workers share each bank's serial execution unit")
+	for _, r := range rep.HostScaling {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"host_scaling %-13s banks=%-2d workers=%-2d  %8.0f ops/s  %.2f allocs/op  %.2fx vs serial-legacy",
+			r.Mode, r.Banks, r.Workers, r.OpsPerSec, r.AllocsPerOp, r.HostSpeedup))
+	}
 	return t, nil
 }

@@ -106,6 +106,7 @@ func validateWritePath(doc map[string]any) error {
 	}
 	// Invariant: the tentpole claim — at `banks` workers the device-time
 	// speedup over 1 worker is at least 2×.
+	found := false
 	for _, r := range rs {
 		w, _ := num(r, "workers")
 		if w != banks {
@@ -115,9 +116,77 @@ func validateWritePath(doc map[string]any) error {
 		if sp < 2 {
 			return fmt.Errorf("speedup at %d workers is %.2f, want >= 2", int(banks), sp)
 		}
-		return nil
+		found = true
+		break
 	}
-	return fmt.Errorf("no row with workers == banks (%d)", int(banks))
+	if !found {
+		return fmt.Errorf("no row with workers == banks (%d)", int(banks))
+	}
+	return validateHostScaling(doc)
+}
+
+// validateHostScaling checks the host-throughput section: every bank count
+// carries its serial-legacy baseline, the sharded and async modes run
+// allocation-free, and the async pipeline at 8 banks clears the 4× bar over
+// the pre-sharding write path.
+func validateHostScaling(doc map[string]any) error {
+	v, ok := doc["host_scaling"]
+	if !ok {
+		return fmt.Errorf("missing field %q", "host_scaling")
+	}
+	arr, ok := v.([]any)
+	if !ok || len(arr) == 0 {
+		return fmt.Errorf("field %q must be a non-empty array", "host_scaling")
+	}
+	baselines := map[int]bool{}
+	asyncAt8 := 0.0
+	for i, e := range arr {
+		r, ok := e.(map[string]any)
+		if !ok {
+			return fmt.Errorf("host_scaling[%d] is %T, want object", i, e)
+		}
+		mode, ok := r["mode"].(string)
+		if !ok {
+			return fmt.Errorf("host_scaling[%d]: missing mode", i)
+		}
+		for _, f := range []string{"banks", "workers", "ops", "ns_per_op", "ops_per_sec", "allocs_per_op", "host_speedup"} {
+			if _, err := num(r, f); err != nil {
+				return fmt.Errorf("host_scaling[%d] (%s): %w", i, mode, err)
+			}
+		}
+		banks, _ := num(r, "banks")
+		speedup, _ := num(r, "host_speedup")
+		allocs, _ := num(r, "allocs_per_op")
+		switch mode {
+		case "serial-legacy":
+			baselines[int(banks)] = true
+			if speedup != 1 {
+				return fmt.Errorf("host_scaling[%d]: serial-legacy host_speedup = %v, want 1 (it is the baseline)", i, speedup)
+			}
+		case "serial", "concurrent", "async":
+			// The steady-state commit paths are pooled end to end; any
+			// per-op allocation is a regression.
+			if allocs > 0.5 {
+				return fmt.Errorf("host_scaling[%d] (%s, %d banks): %.2f allocs/op, want ~0", i, mode, int(banks), allocs)
+			}
+			if mode == "async" && int(banks) == 8 && speedup > asyncAt8 {
+				asyncAt8 = speedup
+			}
+		default:
+			return fmt.Errorf("host_scaling[%d]: unknown mode %q", i, mode)
+		}
+	}
+	for _, b := range []int{4, 8, 16} {
+		if !baselines[b] {
+			return fmt.Errorf("host_scaling: no serial-legacy baseline row for %d banks", b)
+		}
+	}
+	// Invariant: the tentpole claim — the async pipeline at 8 banks is at
+	// least 4× the pre-sharding write path.
+	if asyncAt8 < 4 {
+		return fmt.Errorf("async host_speedup at 8 banks is %.2f, want >= 4", asyncAt8)
+	}
+	return nil
 }
 
 func validateEncode(doc map[string]any) error {
@@ -178,8 +247,10 @@ func validateCrashCampaign(doc map[string]any) error {
 	if err := requireNums(rs, "cycles", "crashes", "faults_fired", "violation_count", "fingerprint"); err != nil {
 		return err
 	}
+	fps := map[string]float64{}
 	for i, r := range rs {
-		if _, ok := r["scenario"].(string); !ok {
+		scenario, ok := r["scenario"].(string)
+		if !ok {
 			return fmt.Errorf("rows[%d]: missing scenario name", i)
 		}
 		// Invariants: the campaign proved something (crashes happened,
@@ -190,8 +261,17 @@ func validateCrashCampaign(doc map[string]any) error {
 		if c, _ := num(r, "crashes"); c == 0 {
 			return fmt.Errorf("rows[%d] (%s): campaign never crashed", i, r["scenario"])
 		}
-		if fp, _ := num(r, "fingerprint"); fp == 0 {
+		fp, _ := num(r, "fingerprint")
+		if fp == 0 {
 			return fmt.Errorf("rows[%d] (%s): zero fingerprint", i, r["scenario"])
+		}
+		fps[scenario] = fp
+	}
+	// Invariant: the async commit pipeline replays the synchronous campaign
+	// byte for byte — same seed, same fault schedule, same fingerprint.
+	if syncFP, ok := fps["kvs/mixed"]; ok {
+		if asyncFP, ok := fps["kvs/mixed+async"]; ok && asyncFP != syncFP {
+			return fmt.Errorf("kvs/mixed+async fingerprint %v != kvs/mixed %v; async pipeline perturbed the campaign", asyncFP, syncFP)
 		}
 	}
 	return nil

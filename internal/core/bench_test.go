@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"github.com/flipbit-sim/flipbit/internal/flash"
@@ -91,6 +92,84 @@ func benchWritePath(b *testing.B, scalar bool) {
 			buf = c
 		}
 		if err := d.Write(0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWritePathConcurrent measures synchronous commits issued from
+// b.RunParallel workers against a bank-sharded device — the contention
+// profile of the sharded op-event bus. Run with -cpu=1,4 to see the
+// single-core cost and the cross-bank scaling.
+func BenchmarkWritePathConcurrent(b *testing.B) {
+	spec := flash.DefaultSpec()
+	spec.NumPages = 16
+	d := MustNewDevice(spec)
+	if err := d.SetApproxRegion(0, spec.Size()); err != nil {
+		b.Fatal(err)
+	}
+	d.SetThreshold(255)
+	rng := xrand.New(9)
+	a := make([]byte, spec.PageSize)
+	for i := range a {
+		a[i] = rng.Byte()
+	}
+	for p := 0; p < spec.NumPages; p++ {
+		if err := d.Write(d.Flash().PageBase(p), a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var next uint32
+	b.SetBytes(int64(spec.PageSize))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Deal each worker its own page so workers map to banks
+		// round-robin, like the writepath experiment.
+		p := int(atomic.AddUint32(&next, 1)) % spec.NumPages
+		for pb.Next() {
+			if err := d.Write(d.Flash().PageBase(p), a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWritePathAsync measures the async pipeline: one producer keeps a
+// window of writePathAsyncDepth commits in flight so per-bank group commit
+// can form batches.
+func BenchmarkWritePathAsync(b *testing.B) {
+	const depth = 8
+	spec := flash.DefaultSpec()
+	spec.NumPages = 16
+	d := MustNewDevice(spec, WithAsyncCommit(depth))
+	defer d.Close()
+	if err := d.SetApproxRegion(0, spec.Size()); err != nil {
+		b.Fatal(err)
+	}
+	d.SetThreshold(255)
+	rng := xrand.New(9)
+	a := make([]byte, spec.PageSize)
+	for i := range a {
+		a[i] = rng.Byte()
+	}
+	if err := d.WriteAsync(0, a).Wait(); err != nil {
+		b.Fatal(err)
+	}
+	window := make([]*Commit, 0, depth)
+	b.SetBytes(int64(spec.PageSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(window) == depth {
+			if err := window[0].Wait(); err != nil {
+				b.Fatal(err)
+			}
+			window = window[:copy(window, window[1:])]
+		}
+		p := i % spec.NumPages
+		window = append(window, d.WriteAsync(d.Flash().PageBase(p), a))
+	}
+	for _, c := range window {
+		if err := c.Wait(); err != nil {
 			b.Fatal(err)
 		}
 	}

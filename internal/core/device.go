@@ -134,8 +134,13 @@ type Device struct {
 	// nil unless configured. It is constructed stopped — call Start.
 	scrubber *Scrubber
 
+	// async is the opt-in per-bank commit pipeline built by
+	// WithAsyncCommit (async.go); nil for the default serial path.
+	async *asyncEngine
+
 	// Construction-time option state.
 	banksOverride int
+	asyncDepth    int
 	observers     []flash.Observer
 	faultSched    flash.FaultSchedule
 	scrubCfg      *ScrubConfig
@@ -248,6 +253,9 @@ func NewDevice(spec flash.Spec, opts ...Option) (*Device, error) {
 	}
 	if d.scrubCfg != nil {
 		d.scrubber = NewScrubber(d, *d.scrubCfg)
+	}
+	if d.asyncDepth > 0 {
+		d.async = newAsyncEngine(d, d.asyncDepth)
 	}
 	return d, nil
 }
@@ -502,6 +510,18 @@ func (d *Device) commitPage(page, off int, data []byte) error {
 	// Stage 2: apply the CPU's stores.
 	s.apply()
 
+	return d.finishLocked(bank, s, encodeResult{}, false)
+}
+
+// finishLocked runs the back half of the pipeline — health gate, encode,
+// error gate, program/erase, stats fold — for one loaded-and-applied
+// session. The group-commit path (async.go) precomputes the encode stage
+// for a whole bank batch in one kernel call and passes encoded == true; the
+// serial path lets the session encode itself. Called with the page's bank
+// commit lock held.
+func (d *Device) finishLocked(bank int, s *session, enc encodeResult, encoded bool) error {
+	page := s.page
+
 	// Health gate (§II-B graceful degradation): a degraded page — worn
 	// out or retired — must not receive exact data. Even a program-only
 	// exact write is unsafe there: stuck cells silently corrupt the next
@@ -524,8 +544,11 @@ func (d *Device) commitPage(page, off int, data []byte) error {
 		return s.programExact()
 	}
 
-	// Stage 3: encode the approximation candidate.
-	enc := s.encode()
+	// Stage 3: encode the approximation candidate (unless group commit
+	// already ran the batch kernel over this session's span).
+	if !encoded {
+		enc = s.encode()
+	}
 
 	// Stage 4: gate on the error threshold (Fig. 9 hardware).
 	if s.gate(enc) {
@@ -582,15 +605,9 @@ func (s *session) apply() {
 func (s *session) encode() encodeResult {
 	d := s.d
 	w := d.Width()
-	vb := w.Bytes()
-	lo, hi := alignDown(s.off, vb), alignUp(s.off+len(s.data), vb)
-	if hi > len(s.bufs.exact) {
-		hi = len(s.bufs.exact)
-	}
-	if d.cell == flash.SLC && !d.scalarEncode && (hi-lo)%vb == 0 {
-		if be, ok := d.enc.(approx.BatchEncoder); ok {
-			return s.encodeBatch(be, lo, hi, w)
-		}
+	lo, hi, batch := s.kernelSpan(w)
+	if batch {
+		return s.encodeBatch(d.enc.(approx.BatchEncoder), lo, hi, w)
 	}
 	// Devirtualize the hot encoders: the concrete-typed calls let the
 	// compiler skip the interface dispatch per value (and inline the
@@ -607,16 +624,38 @@ func (s *session) encode() encodeResult {
 	}
 }
 
-// encodeBatch runs the compiled kernel over the aligned dirty span and
-// converts its in-kernel statistics to an encodeResult. BatchStats carries
-// exactly the aggregates the scalar loop accumulates: the error sums feed
-// the tracker, MaxAbs reproduces the per-value threshold test (some value
-// exceeds the threshold iff the largest one does), and Unreachable mirrors
-// the per-value reachability check (kernel outputs are bitwise subsets of
-// previous, so it only fires for Exact on an unreachable span).
-func (s *session) encodeBatch(be approx.BatchEncoder, lo, hi int, w bits.Width) encodeResult {
+// kernelSpan returns the value-aligned dirty span the encode stage covers
+// and whether the compiled batch kernel applies to it (SLC cells, a batch
+// encoder, no scalar override, and a whole number of values).
+func (s *session) kernelSpan(w bits.Width) (lo, hi int, batch bool) {
 	d := s.d
+	vb := w.Bytes()
+	lo, hi = alignDown(s.off, vb), alignUp(s.off+len(s.data), vb)
+	if hi > len(s.bufs.exact) {
+		hi = len(s.bufs.exact)
+	}
+	if d.cell == flash.SLC && !d.scalarEncode && (hi-lo)%vb == 0 {
+		_, ok := d.enc.(approx.BatchEncoder)
+		return lo, hi, ok
+	}
+	return lo, hi, false
+}
+
+// encodeBatch runs the compiled kernel over the aligned dirty span and
+// converts its in-kernel statistics to an encodeResult.
+func (s *session) encodeBatch(be approx.BatchEncoder, lo, hi int, w bits.Width) encodeResult {
 	st := be.EncodeSlice(s.bufs.previous[lo:hi], s.bufs.exact[lo:hi], s.bufs.approx[lo:hi], w)
+	return s.d.batchResult(st)
+}
+
+// batchResult converts in-kernel batch statistics to an encodeResult.
+// BatchStats carries exactly the aggregates the scalar loop accumulates:
+// the error sums feed the tracker, MaxAbs reproduces the per-value
+// threshold test (some value exceeds the threshold iff the largest one
+// does), and Unreachable mirrors the per-value reachability check (kernel
+// outputs are bitwise subsets of previous, so it only fires for Exact on an
+// unreachable span).
+func (d *Device) batchResult(st approx.BatchStats) encodeResult {
 	var res encodeResult
 	res.tracker.AddBatch(st.Count, st.SumAbs, st.SumSq)
 	res.approximated = st.Approximated

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/flipbit-sim/flipbit/internal/energy"
@@ -75,7 +76,18 @@ func (s Stats) Sub(o Stats) Stats {
 // bank and guarded by its lock.
 type bank struct {
 	mu    sync.Mutex
-	stats Stats
+	stats statsShard
+	// seq numbers the bank's event stream: every emitted event gets the
+	// next value, so per-bank streams are gapless and totally ordered.
+	seq uint64
+	// obs is this bank's slice of the sharded op-event bus: the delivery
+	// handles installed by Attach (observer.go). Events of this bank fan
+	// out to exactly this list, under the bank's lock, so instrumentation
+	// never serializes concurrent banks on a shared subscription path.
+	obs []Observer
+	// prevScratch holds the pre-program page image while a batched
+	// page-program event is delivered (OpEvent.Prev aliases it).
+	prevScratch []byte
 	// rng drives the stuck-bit failure model for worn-out pages in this
 	// bank. Per-bank so concurrent banks never share RNG state.
 	rng *xrand.RNG
@@ -107,20 +119,42 @@ type Device struct {
 	// those pulses; the flag exists for the skip-unchanged ablation.
 	programAll bool
 
-	// trace, when attached, records programs and erases (trace.go).
-	trace *Trace
+	// perByteEvents forces page programs back onto the per-byte event
+	// path (one OpEvent per byte) instead of the batched page-program
+	// events. Fault-armed devices take the per-byte path automatically —
+	// fault countdowns observe individual pulses — so the flag exists for
+	// observers that depend on byte granularity and as the measured
+	// baseline of the host-scaling experiment.
+	perByteEvents bool
 
-	// obs are the attached operation-event observers (observer.go).
-	obs []Observer
+	// atts records Attach calls so Detach can unhook the per-bank
+	// delivery handles (observer.go).
+	atts []attachment
+
+	// tracer is the trace installed by SetTracer, kept so a later
+	// SetTracer can detach it.
+	tracer *Trace
 
 	// Fault injection (faults.go): ftMu guards the shared scope and the
-	// per-bank scopes against concurrent arming and firing.
-	ftMu   sync.Mutex
-	faults faultScope
+	// per-bank scopes against concurrent arming and firing. faultsLive
+	// mirrors "any scope armed" so fault-free operations skip ftMu
+	// entirely — taking a device-wide mutex per byte was the scaling
+	// bottleneck of the per-byte event path.
+	ftMu       sync.Mutex
+	faults     faultScope
+	faultsLive atomic.Bool
 }
 
 // SetProgramAll toggles charging program pulses for unchanged bytes.
 func (d *Device) SetProgramAll(v bool) { d.programAll = v }
+
+// SetPerByteEvents toggles per-byte event granularity for page programs.
+// When off (the default), a fault-free page program emits one batched
+// OpProgram event (with Data/Prev carrying the page images) and one batched
+// OpProgramSkip event instead of one event per byte; totals are identical,
+// only granularity changes. Must not be toggled concurrently with
+// operations.
+func (d *Device) SetPerByteEvents(v bool) { d.perByteEvents = v }
 
 // NewDevice builds a device from spec with every page erased (all ones),
 // which is how flash leaves the factory. A spec with Banks == 0 gets
@@ -184,7 +218,7 @@ func (d *Device) Stats() Stats {
 	for b := range d.banks {
 		bk := &d.banks[b]
 		bk.mu.Lock()
-		s = s.Add(bk.stats)
+		s = s.Add(bk.stats.snapshot())
 		bk.mu.Unlock()
 	}
 	return s
@@ -195,7 +229,7 @@ func (d *Device) BankStats(b int) Stats {
 	bk := &d.banks[b]
 	bk.mu.Lock()
 	defer bk.mu.Unlock()
-	return bk.stats
+	return bk.stats.snapshot()
 }
 
 // ResetStats clears the operation ledger of every bank. Wear counters and
@@ -205,7 +239,7 @@ func (d *Device) ResetStats() {
 	for b := range d.banks {
 		bk := &d.banks[b]
 		bk.mu.Lock()
-		bk.stats = Stats{}
+		bk.stats = statsShard{}
 		bk.mu.Unlock()
 	}
 }
@@ -230,16 +264,18 @@ func (d *Device) checkPage(p int) error {
 	return nil
 }
 
-// emit delivers one operation event: first to the owning bank's stats
-// shard, then to the trace and every attached observer. Must be called with
-// the bank's lock held, which orders events within a bank; observers see
-// events from different banks concurrently and must synchronise themselves.
+// emit delivers one operation event: it is stamped with the bank's next
+// sequence number, folded into the bank's stats shard, and fanned out to
+// the bank's subscriber shard. Must be called with the bank's lock held,
+// which totally orders events within a bank; events for different banks are
+// delivered concurrently to independent shards, so nothing on this path is
+// shared between banks.
 func (d *Device) emit(ev OpEvent) {
-	d.banks[ev.Bank].stats.apply(ev)
-	if d.trace != nil {
-		d.trace.OnOp(ev)
-	}
-	for _, o := range d.obs {
+	bk := &d.banks[ev.Bank]
+	bk.seq++
+	ev.Seq = bk.seq
+	bk.stats.apply(ev)
+	for _, o := range bk.obs {
 		o.OnOp(ev)
 	}
 }
@@ -258,7 +294,7 @@ func (d *Device) ReadByteAt(addr int) (byte, error) {
 		Energy: d.spec.ReadEnergy, Busy: d.spec.ReadLatency,
 	})
 	v := d.array[addr]
-	if f, fired := d.faultFor(b, OpRead); fired && f.Kind == FaultReadDisturb {
+	if f, fired := d.faultHit(b, OpRead); fired && f.Kind == FaultReadDisturb {
 		d.disturbPage(b, d.PageOf(addr), f.bits())
 	}
 	return v, nil
@@ -286,7 +322,7 @@ func (d *Device) Read(addr int, dst []byte) error {
 			Energy: d.spec.ReadEnergy * energy.Energy(n),
 			Busy:   d.spec.ReadLatency * time.Duration(n),
 		})
-		if f, fired := d.faultFor(b, OpRead); fired && f.Kind == FaultReadDisturb {
+		if f, fired := d.faultHit(b, OpRead); fired && f.Kind == FaultReadDisturb {
 			d.disturbPage(b, page, f.bits())
 		}
 		bk.mu.Unlock()
@@ -316,7 +352,7 @@ func (d *Device) ReadPage(p int, dst []byte) error {
 		Energy: d.spec.ReadEnergy * energy.Energy(d.spec.PageSize),
 		Busy:   d.spec.ReadLatency * time.Duration(d.spec.PageSize),
 	})
-	if f, fired := d.faultFor(b, OpRead); fired && f.Kind == FaultReadDisturb {
+	if f, fired := d.faultHit(b, OpRead); fired && f.Kind == FaultReadDisturb {
 		d.disturbPage(b, p, f.bits())
 	}
 	return nil
@@ -354,7 +390,7 @@ func (d *Device) programByteLocked(b, addr int, v byte) error {
 		d.emit(OpEvent{Kind: OpProgramSkip, Bank: b, Addr: addr, Bytes: 1, Value: v})
 		return nil
 	}
-	if f, fired := d.faultFor(b, OpProgram); fired && f.Kind == FaultPowerLoss {
+	if f, fired := d.faultHit(b, OpProgram); fired && f.Kind == FaultPowerLoss {
 		// The pulse was cut short: some target bits cleared, the
 		// rest did not. Energy/latency for the partial pulse is
 		// still drawn from the supply.
@@ -396,7 +432,7 @@ func (d *Device) erasePageLocked(b, p int) error {
 	}
 	base := d.PageBase(p)
 	d.clearDrift(p)
-	f, fired := d.faultFor(b, OpErase)
+	f, fired := d.faultHit(b, OpErase)
 	if fired && f.Kind == FaultPowerLoss {
 		d.tearErase(b, p)
 		d.wear[p]++ // the tunnel-oxide stress happened regardless
@@ -511,10 +547,59 @@ func (d *Device) programPageLocked(b, p int, buf []byte) error {
 				ErrNeedsErase, p, i, d.array[base+i], v, d.spec.Cell)
 		}
 	}
-	for i, v := range buf {
-		if err := d.programByteLocked(b, base+i, v); err != nil {
-			return err
+	if d.programAll || d.perByteEvents || d.faultsLive.Load() {
+		// Per-byte path: armed fault countdowns observe individual
+		// program pulses, and the ablation/compat modes want per-byte
+		// granularity. Costs and counters match the bulk path exactly.
+		for i, v := range buf {
+			if err := d.programByteLocked(b, base+i, v); err != nil {
+				return err
+			}
 		}
+		return nil
+	}
+	return d.programPageBulkLocked(b, p, buf)
+}
+
+// programPageBulkLocked commits a whole reachable page in one pass and
+// emits at most two batched events (one OpProgram for the changed bytes,
+// one OpProgramSkip for the unchanged ones) instead of one event per byte.
+// Energy, busy time and the byte counters are identical to the per-byte
+// path; only event granularity differs. Called with bank b's lock held,
+// after the reachability pre-pass, with no faults armed.
+func (d *Device) programPageBulkLocked(b, p int, buf []byte) error {
+	base := d.PageBase(p)
+	bk := &d.banks[b]
+	page := d.array[base : base+d.spec.PageSize]
+	var prev []byte
+	if len(bk.obs) > 0 {
+		if bk.prevScratch == nil {
+			bk.prevScratch = make([]byte, d.spec.PageSize)
+		}
+		prev = bk.prevScratch
+		copy(prev, page)
+	}
+	programmed := 0
+	m := d.drift[p]
+	for i, v := range buf {
+		if page[i] != v {
+			page[i] = v
+			programmed++
+		}
+		if m != nil {
+			m[i] &= v
+		}
+	}
+	if programmed > 0 {
+		d.emit(OpEvent{
+			Kind: OpProgram, Bank: b, Addr: base, Bytes: programmed,
+			Data: page, Prev: prev,
+			Energy: d.spec.ProgramEnergy * energy.Energy(programmed),
+			Busy:   d.spec.ProgramLatency * time.Duration(programmed),
+		})
+	}
+	if skipped := len(buf) - programmed; skipped > 0 {
+		d.emit(OpEvent{Kind: OpProgramSkip, Bank: b, Addr: base, Bytes: skipped})
 	}
 	return nil
 }

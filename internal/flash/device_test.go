@@ -366,17 +366,18 @@ func TestObserverSeesEveryOp(t *testing.T) {
 // costs the stats shards accumulate — one accounting path, two views.
 func TestObserverStatsAgree(t *testing.T) {
 	d := MustNewDevice(smallSpec())
-	// Accumulate per bank and merge in bank order, mirroring the stats
-	// shards — float totals are then byte-identical, not just close.
-	perBank := make([]energy.Energy, d.Banks())
+	// Accumulate per (bank, kind) and merge kinds in kind order, banks in
+	// bank order — mirroring the stats shards' per-kind accumulators —
+	// so float totals are byte-identical, not just close.
+	perBankKind := make([][opKindCount]energy.Energy, d.Banks())
 	var reads, programs uint64
 	d.Attach(ObserverFunc(func(ev OpEvent) {
-		perBank[ev.Bank] += ev.Energy
+		perBankKind[ev.Bank][ev.Kind] += ev.Energy
 		switch ev.Kind {
 		case OpRead:
 			reads += uint64(ev.Bytes)
 		case OpProgram:
-			programs++
+			programs += uint64(ev.Bytes)
 		}
 	}))
 	rng := xrand.New(77)
@@ -396,8 +397,12 @@ func TestObserverStatsAgree(t *testing.T) {
 		t.Errorf("observer counted reads=%d programs=%d, stats %+v", reads, programs, st)
 	}
 	var total energy.Energy
-	for _, e := range perBank {
-		total += e
+	for _, kinds := range perBankKind {
+		var bankTotal energy.Energy
+		for _, e := range kinds {
+			bankTotal += e
+		}
+		total += bankTotal
 	}
 	if st.Energy != total {
 		t.Errorf("observer energy %v != stats energy %v", total, st.Energy)

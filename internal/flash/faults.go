@@ -208,6 +208,7 @@ func (d *Device) ArmFault(f Fault) {
 	d.ftMu.Lock()
 	defer d.ftMu.Unlock()
 	d.faults.arm(f)
+	d.faultsLive.Store(d.anyArmedLocked())
 }
 
 // ArmBankFault arms a one-shot fault scoped to bank b: only bank b's
@@ -217,6 +218,7 @@ func (d *Device) ArmBankFault(b int, f Fault) {
 	d.ftMu.Lock()
 	defer d.ftMu.Unlock()
 	d.banks[b].faults.arm(f)
+	d.faultsLive.Store(d.anyArmedLocked())
 }
 
 // SetFaultSchedule installs a device-wide fault schedule, arming its first
@@ -226,6 +228,7 @@ func (d *Device) SetFaultSchedule(s FaultSchedule) {
 	d.ftMu.Lock()
 	defer d.ftMu.Unlock()
 	d.faults.setSchedule(s)
+	d.faultsLive.Store(d.anyArmedLocked())
 }
 
 // SetBankFaultSchedule installs a schedule scoped to bank b.
@@ -233,6 +236,7 @@ func (d *Device) SetBankFaultSchedule(b int, s FaultSchedule) {
 	d.ftMu.Lock()
 	defer d.ftMu.Unlock()
 	d.banks[b].faults.setSchedule(s)
+	d.faultsLive.Store(d.anyArmedLocked())
 }
 
 // ClearFaults disarms every pending fault and removes every schedule, shared
@@ -245,6 +249,28 @@ func (d *Device) ClearFaults() {
 	for b := range d.banks {
 		d.banks[b].faults.setSchedule(nil)
 	}
+	d.faultsLive.Store(false)
+}
+
+// FaultsLive reports whether any fault is currently armed in any scope.
+// Callers batching work (the async commit pipeline, the bulk page-program
+// path) use it to fall back to per-operation granularity while faults are
+// in flight, so armed countdowns observe exactly the operations a serial
+// run would show them.
+func (d *Device) FaultsLive() bool { return d.faultsLive.Load() }
+
+// anyArmedLocked reports whether any scope holds an armed fault. Called
+// with ftMu held.
+func (d *Device) anyArmedLocked() bool {
+	if d.faults.armed {
+		return true
+	}
+	for b := range d.banks {
+		if d.banks[b].faults.armed {
+			return true
+		}
+	}
+	return false
 }
 
 // FaultsFired returns how many faults have fired across all scopes.
@@ -258,15 +284,29 @@ func (d *Device) FaultsFired() uint64 {
 	return n
 }
 
+// faultHit is the operation-path entry point for fault matching: a lock-free
+// liveness check first, the full scope walk only while something is armed.
+// Fault-free traffic — the overwhelmingly common case — never touches the
+// device-wide fault mutex, which would otherwise serialize every bank.
+func (d *Device) faultHit(b int, op OpKind) (Fault, bool) {
+	if !d.faultsLive.Load() {
+		return Fault{}, false
+	}
+	return d.faultFor(b, op)
+}
+
 // faultFor consults bank b's scope first, then the shared scope, for an op
-// of the given kind. Called with bank b's lock held.
+// of the given kind, and refreshes the liveness flag (a fired one-shot with
+// no schedule behind it disarms the scope). Called with bank b's lock held.
 func (d *Device) faultFor(b int, op OpKind) (Fault, bool) {
 	d.ftMu.Lock()
 	defer d.ftMu.Unlock()
-	if f, ok := d.banks[b].faults.match(op); ok {
-		return f, true
+	f, ok := d.banks[b].faults.match(op)
+	if !ok {
+		f, ok = d.faults.match(op)
 	}
-	return d.faults.match(op)
+	d.faultsLive.Store(d.anyArmedLocked())
+	return f, ok
 }
 
 // stickBits clears n cells at seeded-random positions in page p — the

@@ -13,11 +13,14 @@ type OpKind uint8
 // Operation kinds carried by OpEvent.
 const (
 	OpRead        OpKind = iota // array read (Bytes consecutive bytes)
-	OpProgram                   // one byte programmed
-	OpProgramSkip               // one byte program elided (value unchanged)
+	OpProgram                   // Bytes bytes programmed
+	OpProgramSkip               // Bytes byte programs elided (value unchanged)
 	OpErase                     // one page erased
 	OpScrub                     // one page scrubbed by the management layer
 	OpRetire                    // one page retired onto a spare
+
+	// opKindCount sizes per-kind accumulator arrays; keep it last.
+	opKindCount
 )
 
 func (k OpKind) String() string {
@@ -46,16 +49,33 @@ type OpEvent struct {
 	Kind OpKind
 	Bank int // bank the operation executed in
 
+	// Seq is the 1-based position of this event in its bank's event
+	// stream. Within one bank the sequence is gapless and strictly
+	// increasing — events for a bank are totally ordered — while events
+	// from different banks carry independent sequences and may be
+	// delivered concurrently.
+	Seq uint64
+
 	// Addr is the byte address for reads and programs, and the page
-	// number for erases.
+	// number for erases. For a batched page program it is the page's
+	// base address.
 	Addr int
 
 	// Bytes is the number of bytes the operation covered: the read
-	// length for OpRead, 1 for programs, and the page size for erases.
+	// length for OpRead, the programmed (or skipped) byte count for
+	// programs, and the page size for erases.
 	Bytes int
 
-	// Value is the programmed value (OpProgram only).
+	// Value is the programmed value (per-byte OpProgram only).
 	Value byte
+
+	// Data and Prev are set on batched page-program events only: Data is
+	// the page's contents after the program and Prev the contents before,
+	// so observers can recover the per-byte writes (a byte was programmed
+	// iff Data[i] != Prev[i]). Both alias device-owned buffers and are
+	// only valid for the duration of the OnOp call — copy to retain.
+	Data []byte
+	Prev []byte
 
 	// Energy and Busy are the cost charged for the operation.
 	Energy energy.Energy
@@ -71,6 +91,17 @@ type Observer interface {
 	OnOp(OpEvent)
 }
 
+// ShardObserver is an Observer that can supply one delivery target per
+// bank. When attached to a device, shard b receives exactly the events of
+// bank b (in bank order, under the bank's lock), so a sharded observer
+// never serializes deliveries from concurrent banks on one lock. Trace
+// implements it; plain observers are delivered to from every bank and must
+// synchronise themselves.
+type ShardObserver interface {
+	Observer
+	ObserverShards(banks int) []Observer
+}
+
 // ObserverFunc adapts a function to the Observer interface. The function
 // must be safe for concurrent use if the device is driven concurrently.
 type ObserverFunc func(OpEvent)
@@ -78,20 +109,46 @@ type ObserverFunc func(OpEvent)
 // OnOp implements Observer.
 func (f ObserverFunc) OnOp(e OpEvent) { f(e) }
 
-// Attach subscribes o to the device's operation events. Attach must not be
-// called concurrently with device operations (configure observers before
-// starting traffic, like the trace).
-func (d *Device) Attach(o Observer) {
-	if o != nil {
-		d.obs = append(d.obs, o)
-	}
+// attachment records one Attach call: the observer as the caller knows it,
+// kept so Detach can find the per-bank delivery handles installed for it.
+type attachment struct {
+	src Observer
 }
 
-// Detach removes a previously attached observer.
+// Attach subscribes o to the device's operation events. The subscription is
+// sharded: if o implements ShardObserver each bank delivers to o's shard
+// for that bank, otherwise every bank delivers to o directly. Attach must
+// not be called concurrently with device operations (configure observers
+// before starting traffic, like the trace).
+func (d *Device) Attach(o Observer) {
+	if o == nil {
+		return
+	}
+	shards := []Observer(nil)
+	if so, ok := o.(ShardObserver); ok {
+		shards = so.ObserverShards(len(d.banks))
+	}
+	for b := range d.banks {
+		h := o
+		if shards != nil {
+			h = shards[b]
+		}
+		d.banks[b].obs = append(d.banks[b].obs, h)
+	}
+	d.atts = append(d.atts, attachment{src: o})
+}
+
+// Detach removes a previously attached observer. Attachments keep their
+// relative order, so the i-th attachment owns the i-th delivery handle in
+// every bank's subscriber list.
 func (d *Device) Detach(o Observer) {
-	for i, cur := range d.obs {
-		if sameObserver(cur, o) {
-			d.obs = append(d.obs[:i], d.obs[i+1:]...)
+	for i, at := range d.atts {
+		if sameObserver(at.src, o) {
+			d.atts = append(d.atts[:i], d.atts[i+1:]...)
+			for b := range d.banks {
+				obs := d.banks[b].obs
+				d.banks[b].obs = append(obs[:i], obs[i+1:]...)
+			}
 			return
 		}
 	}
@@ -115,16 +172,28 @@ func sameObserver(a, b Observer) bool {
 	return false
 }
 
-// apply folds one event into the stats shard. This is the only place
-// operation counters are updated.
-func (s *Stats) apply(ev OpEvent) {
+// statsShard is one bank's slice of the operation ledger. Counters live in
+// the embedded Stats; energy is accumulated per operation kind instead of
+// into one running float, because float addition is order-sensitive: the
+// async pipeline may interleave a bank's loads and programs differently
+// than a serial run, but each (bank, kind) sub-stream still sees its events
+// in request order, so summing the kinds in a fixed order at snapshot time
+// reproduces byte-identical totals for any interleaving.
+type statsShard struct {
+	Stats
+	energyKind [opKindCount]energy.Energy
+}
+
+// apply folds one event into the shard. This is the only place operation
+// counters are updated.
+func (s *statsShard) apply(ev OpEvent) {
 	switch ev.Kind {
 	case OpRead:
 		s.Reads += uint64(ev.Bytes)
 	case OpProgram:
-		s.Programs++
+		s.Programs += uint64(ev.Bytes)
 	case OpProgramSkip:
-		s.ProgramsSkipped++
+		s.ProgramsSkipped += uint64(ev.Bytes)
 	case OpErase:
 		s.Erases++
 	case OpScrub:
@@ -132,8 +201,20 @@ func (s *Stats) apply(ev OpEvent) {
 	case OpRetire:
 		s.Retirements++
 	}
-	s.Energy += ev.Energy
+	s.energyKind[ev.Kind] += ev.Energy
 	s.Busy += ev.Busy
+}
+
+// snapshot returns the shard as externally visible Stats, summing the
+// per-kind energy accumulators in kind order (the deterministic merge).
+func (s *statsShard) snapshot() Stats {
+	st := s.Stats
+	var e energy.Energy
+	for _, v := range s.energyKind {
+		e += v
+	}
+	st.Energy = e
+	return st
 }
 
 // ledgerObserver forwards event costs to an energy.Ledger.

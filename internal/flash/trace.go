@@ -3,6 +3,7 @@ package flash
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -40,18 +41,40 @@ const DefaultTraceLimit = 1 << 20
 // replayed, diffed or analyzed offline. Attach with Device.SetTracer (it is
 // an Observer, so Device.Attach works too).
 //
-// The trace is a capped ring buffer: once Limit entries are held, each new
-// entry evicts the oldest and increments the dropped counter, so tracing a
-// long workload consumes bounded memory. The zero value is ready to use
-// with DefaultTraceLimit; use NewTrace for an explicit cap. Trace is safe
-// for concurrent use.
+// The trace is sharded to match the device's op-event bus: when attached,
+// each flash bank appends into its own ring under its own lock, so tracing
+// never serializes concurrent banks on one mutex. Read accessors merge the
+// shards deterministically: entries are ordered by (per-bank sequence,
+// bank), which depends only on each bank's operation sequence — never on
+// goroutine scheduling — so a concurrent run and a serial run of the same
+// per-bank workloads read back the same trace.
+//
+// Retention is capped: Entries returns at most Limit entries, each shard
+// evicts its oldest entry once it holds Limit, and Dropped counts every
+// recorded entry that Entries no longer returns. The zero value is ready to
+// use with DefaultTraceLimit; use NewTrace for an explicit cap. Trace is
+// safe for concurrent use.
 type Trace struct {
-	mu      sync.Mutex
-	limit   int
-	ring    []TraceEntry
-	start   int // index of the oldest entry
-	count   int
-	dropped uint64
+	mu     sync.Mutex // guards limit and the shard list, not shard contents
+	limit  int
+	shards []*traceShard
+}
+
+// seqEntry is a TraceEntry plus its position in the owning shard's stream.
+type seqEntry struct {
+	TraceEntry
+	seq uint64
+}
+
+// traceShard is one bank's ring. Its lock nests inside the owning bank's
+// lock on the append path and is never held while taking another lock.
+type traceShard struct {
+	mu       sync.Mutex
+	limit    int
+	ring     []seqEntry
+	start    int // index of the oldest entry
+	count    int
+	appended uint64 // entries ever appended; doubles as the seq source
 }
 
 // NewTrace returns a trace holding at most limit entries; limit <= 0
@@ -77,70 +100,181 @@ func (t *Trace) effectiveLimit() int {
 	return t.limit
 }
 
-// Append records one entry, evicting the oldest if the trace is full.
-func (t *Trace) Append(e TraceEntry) {
+// shard returns shard i, growing the shard list as needed.
+func (t *Trace) shard(i int) *traceShard {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	limit := t.effectiveLimit()
-	if t.count < limit {
-		if t.count == len(t.ring) {
+	for len(t.shards) <= i {
+		t.shards = append(t.shards, &traceShard{limit: t.effectiveLimit()})
+	}
+	return t.shards[i]
+}
+
+// snapshot returns the current shard list.
+func (t *Trace) snapshot() []*traceShard {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.shards
+}
+
+// ObserverShards implements ShardObserver: bank b of an attaching device
+// records into shard b. Entries recorded before attaching (or by a device
+// with fewer banks) stay in their shards.
+func (t *Trace) ObserverShards(banks int) []Observer {
+	obs := make([]Observer, banks)
+	for b := 0; b < banks; b++ {
+		obs[b] = traceShardObs{t: t, s: t.shard(b)}
+	}
+	return obs
+}
+
+// traceShardObs delivers one bank's events to its trace shard without
+// touching the trace-level mutex.
+type traceShardObs struct {
+	t *Trace
+	s *traceShard
+}
+
+// OnOp implements Observer for one shard: programs and erases are
+// recorded, reads and skipped programs are not. A batched page-program
+// event (Data/Prev set) expands to one entry per programmed byte under a
+// single lock acquisition.
+func (o traceShardObs) OnOp(ev OpEvent) { o.s.onOp(ev) }
+
+func (s *traceShard) onOp(ev OpEvent) {
+	switch ev.Kind {
+	case OpProgram:
+		s.mu.Lock()
+		if ev.Data != nil {
+			for i, v := range ev.Data {
+				if ev.Prev[i] != v {
+					s.appendLocked(TraceEntry{Op: TraceProgram, Addr: ev.Addr + i, Value: v})
+				}
+			}
+		} else {
+			s.appendLocked(TraceEntry{Op: TraceProgram, Addr: ev.Addr, Value: ev.Value})
+		}
+		s.mu.Unlock()
+	case OpErase:
+		s.mu.Lock()
+		s.appendLocked(TraceEntry{Op: TraceErase, Addr: ev.Addr})
+		s.mu.Unlock()
+	}
+}
+
+// OnOp implements Observer on the trace itself, for traces used without
+// Device.Attach (which installs the per-bank shards instead): events route
+// to the shard of their bank.
+func (t *Trace) OnOp(ev OpEvent) {
+	if ev.Kind != OpProgram && ev.Kind != OpErase {
+		return
+	}
+	b := ev.Bank
+	if b < 0 {
+		b = 0
+	}
+	t.shard(b).onOp(ev)
+}
+
+// Append records one entry (into shard 0), evicting the oldest if the
+// shard is full.
+func (t *Trace) Append(e TraceEntry) {
+	s := t.shard(0)
+	s.mu.Lock()
+	s.appendLocked(e)
+	s.mu.Unlock()
+}
+
+// appendLocked records one entry with the shard's lock held.
+func (s *traceShard) appendLocked(e TraceEntry) {
+	s.appended++
+	se := seqEntry{TraceEntry: e, seq: s.appended}
+	if s.count < s.limit {
+		if s.count == len(s.ring) {
 			// Grow geometrically up to the cap rather than
 			// allocating the full ring up front.
-			t.ring = append(t.ring, e)
-			t.count++
+			s.ring = append(s.ring, se)
+			s.count++
 			return
 		}
-		t.ring[(t.start+t.count)%len(t.ring)] = e
-		t.count++
+		s.ring[(s.start+s.count)%len(s.ring)] = se
+		s.count++
 		return
 	}
 	// Full: overwrite the oldest.
-	t.ring[t.start] = e
-	t.start = (t.start + 1) % len(t.ring)
-	t.dropped++
+	s.ring[s.start] = se
+	s.start = (s.start + 1) % len(s.ring)
 }
 
-// OnOp implements Observer: programs and erases are recorded, reads and
-// skipped programs are not.
-func (t *Trace) OnOp(ev OpEvent) {
-	switch ev.Kind {
-	case OpProgram:
-		t.Append(TraceEntry{Op: TraceProgram, Addr: ev.Addr, Value: ev.Value})
-	case OpErase:
-		t.Append(TraceEntry{Op: TraceErase, Addr: ev.Addr})
-	}
-}
-
-// Len returns the number of retained entries.
+// Len returns the number of entries Entries would return: the retained
+// entries across all shards, capped at the trace limit.
 func (t *Trace) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.count
+	n := 0
+	for _, s := range t.snapshot() {
+		s.mu.Lock()
+		n += s.count
+		s.mu.Unlock()
+	}
+	if limit := t.Limit(); n > limit {
+		n = limit
+	}
+	return n
 }
 
-// Dropped returns how many entries were evicted because the trace was full.
+// Dropped returns how many recorded entries Entries no longer returns,
+// whether evicted from a full shard or trimmed by the trace-wide cap.
 func (t *Trace) Dropped() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.dropped
+	var appended uint64
+	for _, s := range t.snapshot() {
+		s.mu.Lock()
+		appended += s.appended
+		s.mu.Unlock()
+	}
+	return appended - uint64(t.Len())
 }
 
-// Entries returns the retained entries, oldest first.
+// Entries returns the retained entries in the deterministic merge order:
+// ascending (per-bank sequence, bank). Within a bank that is recording
+// order; across banks the interleave depends only on the per-bank
+// operation sequences, so serial and concurrent runs of the same per-bank
+// workloads return identical slices. At most Limit entries are returned
+// (the oldest beyond the cap are trimmed).
 func (t *Trace) Entries() []TraceEntry {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]TraceEntry, t.count)
-	for i := 0; i < t.count; i++ {
-		out[i] = t.ring[(t.start+i)%len(t.ring)]
+	type bankEntry struct {
+		seqEntry
+		bank int
+	}
+	var all []bankEntry
+	for b, s := range t.snapshot() {
+		s.mu.Lock()
+		for i := 0; i < s.count; i++ {
+			all = append(all, bankEntry{s.ring[(s.start+i)%len(s.ring)], b})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].seq != all[j].seq {
+			return all[i].seq < all[j].seq
+		}
+		return all[i].bank < all[j].bank
+	})
+	if limit := t.Limit(); len(all) > limit {
+		all = all[len(all)-limit:]
+	}
+	out := make([]TraceEntry, len(all))
+	for i := range all {
+		out[i] = all[i].TraceEntry
 	}
 	return out
 }
 
 // Reset discards all entries and the dropped counter, keeping the limit.
 func (t *Trace) Reset() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.start, t.count, t.dropped = 0, 0, 0
+	for _, s := range t.snapshot() {
+		s.mu.Lock()
+		s.start, s.count, s.appended = 0, 0, 0
+		s.mu.Unlock()
+	}
 }
 
 // ErrReplayMismatch is returned when a replayed trace cannot be applied.
@@ -195,6 +329,14 @@ func (t *Trace) ProgramBytes() int {
 }
 
 // SetTracer attaches (or detaches, with nil) an operation trace to the
-// device. Tracing records programs and erases only. SetTracer must not be
-// called concurrently with device operations.
-func (d *Device) SetTracer(t *Trace) { d.trace = t }
+// device. Tracing records programs and erases only, sharded per bank.
+// SetTracer must not be called concurrently with device operations.
+func (d *Device) SetTracer(t *Trace) {
+	if d.tracer != nil {
+		d.Detach(d.tracer)
+	}
+	d.tracer = t
+	if t != nil {
+		d.Attach(t)
+	}
+}
