@@ -111,3 +111,15 @@ func BenchmarkExpWearLeveling(b *testing.B) {
 	runExperiment(b, "exp-wear")
 }
 func BenchmarkExpEnergyHarvest(b *testing.B) { runExperiment(b, "exp-harvest") }
+
+// BenchmarkKVScale drives the store-scale experiment (quick key counts) and
+// reports the checkpointed-mount speedup as its headline metric.
+func BenchmarkKVScale(b *testing.B) {
+	tab := runExperiment(b, "kvscale")
+	last := tab.Rows[len(tab.Rows)-1]
+	sp, err := strconv.ParseFloat(strings.TrimSuffix(last[len(last)-2], "×"), 64)
+	if err != nil {
+		b.Fatalf("no speedup in %q", last[len(last)-2])
+	}
+	b.ReportMetric(sp, "mount-speedup-x")
+}

@@ -31,7 +31,7 @@ var (
 	flags      = flag.NewFlagSet("flipbit", flag.ExitOnError)
 	quick      = flags.Bool("quick", false, "trim workloads for a fast run (shapes preserved)")
 	csvDir     = flags.String("csv", "", "also write each table as <dir>/<id>.csv")
-	benchJSON  = flags.String("benchjson", "", "write the writepath JSON report to this path, plus BENCH_crashcampaign.json, BENCH_lifetime.json and BENCH_encode.json next to it")
+	benchJSON  = flags.String("benchjson", "", "write the writepath JSON report to this path, plus BENCH_crashcampaign.json, BENCH_lifetime.json, BENCH_encode.json and BENCH_kvscale.json next to it")
 	faults     = flags.Bool("faults", false, "run a fault-injection campaign against the key-value store and print its outcome")
 	seed       = flags.Uint64("seed", 1, "campaign seed for -faults (same seed replays byte-identically)")
 	cycles     = flags.Int("cycles", 1000, "crash/reboot cycles for -faults")
@@ -195,6 +195,16 @@ func writeBenchJSON(path string, cfg bench.Config) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", ekPath)
+
+	ks, err := bench.RunKVScale(cfg)
+	if err != nil {
+		return err
+	}
+	ksPath := filepath.Join(filepath.Dir(path), "BENCH_kvscale.json")
+	if err := writeJSONFile(ksPath, ks.WriteJSON); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", ksPath)
 	return nil
 }
 

@@ -40,6 +40,7 @@ import (
 	"github.com/flipbit-sim/flipbit/internal/energy"
 	"github.com/flipbit-sim/flipbit/internal/flash"
 	"github.com/flipbit-sim/flipbit/internal/ftl"
+	"github.com/flipbit-sim/flipbit/internal/kvs"
 )
 
 // Device is a flash chip with the FlipBit controller attached. See
@@ -345,3 +346,74 @@ func WithSparePages(n int) FTLOption { return ftl.WithSpares(n) }
 // WithSwapDelta sets the wear gap (in erase cycles) that triggers a
 // hot/cold leveling swap.
 func WithSwapDelta(d uint32) FTLOption { return ftl.WithSwapDelta(d) }
+
+// --- Log-structured key-value store ---
+
+// KVStore is the crash-safe log-structured key-value store over a device
+// (or any KVBackend): append-only record log, single-bit read repair,
+// proactive garbage collection, and journaled index checkpoints for O(tail)
+// mounts. See internal/kvs for the record and checkpoint formats.
+type KVStore = kvs.Store
+
+// KVOption configures a KVStore at mount.
+type KVOption = kvs.Option
+
+// KVStats counts store operations, recovery events, GC passes, and
+// checkpoint activity.
+type KVStats = kvs.Stats
+
+// KVBackend is the flat address space a KVStore runs on; OpenKVS adapts a
+// Device, OpenKVSOn accepts anything page-erasable (an FTL, a fake).
+type KVBackend = kvs.Backend
+
+// CompactionConfig tunes the store's garbage collector: free-page trigger,
+// store-wide garbage-ratio trigger, the per-victim garbage floor, and the
+// wear bias. The zero value selects sensible defaults.
+type CompactionConfig = kvs.CompactionConfig
+
+// CheckpointConfig arms index checkpointing: pages per ping-pong slot,
+// the append interval between automatic checkpoints, and a scan-only escape
+// hatch for differential testing.
+type CheckpointConfig = kvs.CheckpointConfig
+
+// Store errors.
+var (
+	// ErrKVNotFound is returned by Get/Delete for an absent key.
+	ErrKVNotFound = kvs.ErrNotFound
+	// ErrKVFull is returned when an append cannot fit even after GC.
+	ErrKVFull = kvs.ErrFull
+	// ErrKVCorrupt is returned when a record is corrupt beyond the
+	// single-bit repair the store attempts on read.
+	ErrKVCorrupt = kvs.ErrCorrupt
+	// ErrKVDeviceReadOnly is returned once the device is too worn to
+	// relocate data: the store refuses writes instead of risking loss.
+	ErrKVDeviceReadOnly = kvs.ErrDeviceReadOnly
+	// ErrKVNoCheckpoint is returned by Checkpoint when checkpointing was
+	// not configured at mount.
+	ErrKVNoCheckpoint = kvs.ErrNoCheckpoint
+)
+
+// OpenKVS mounts the store on a device, replaying the record log (or the
+// newest valid checkpoint plus the log tail, when WithKVCheckpoint is armed).
+func OpenKVS(dev *Device, opts ...KVOption) (*KVStore, error) {
+	return kvs.Open(dev, opts...)
+}
+
+// OpenKVSOn mounts the store on an arbitrary backend.
+func OpenKVSOn(b KVBackend, opts ...KVOption) (*KVStore, error) {
+	return kvs.OpenOn(b, opts...)
+}
+
+// WithKVCompaction arms proactive garbage collection: when free pages run
+// low or dead records pile up, the store compacts its best victim page
+// (most garbage, least wear) inline with the triggering write.
+func WithKVCompaction(cfg CompactionConfig) KVOption { return kvs.WithCompaction(cfg) }
+
+// WithKVCheckpoint arms index checkpointing into two ping-pong slots at the
+// end of the page array: mounts restore the newest valid checkpoint and
+// replay only the log tail written since, falling back to a full scan if no
+// slot survives.
+func WithKVCheckpoint(cfg CheckpointConfig) KVOption { return kvs.WithCheckpoint(cfg) }
+
+// WithKVVerify makes every commit read back and verify what it wrote.
+func WithKVVerify() KVOption { return kvs.WithVerify() }

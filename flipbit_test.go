@@ -2,6 +2,7 @@ package flipbit_test
 
 import (
 	"errors"
+	"fmt"
 
 	"testing"
 
@@ -146,5 +147,63 @@ func TestPublicDeviceWithEncoderOption(t *testing.T) {
 	}
 	if dev.Encoder().Name() != "4-bit" {
 		t.Errorf("encoder = %s", dev.Encoder().Name())
+	}
+}
+
+// TestPublicKVS exercises the key-value store façade end to end: mount with
+// compaction and checkpointing armed, churn enough to force GC, checkpoint,
+// remount O(tail), and observe the stats surface.
+func TestPublicKVS(t *testing.T) {
+	spec := flipbit.DefaultSpec()
+	spec.PageSize = 128
+	spec.NumPages = 24
+	dev, err := flipbit.NewDevice(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []flipbit.KVOption{
+		flipbit.WithKVCompaction(flipbit.CompactionConfig{}),
+		flipbit.WithKVCheckpoint(flipbit.CheckpointConfig{SlotPages: 3, Interval: 40}),
+		flipbit.WithKVVerify(),
+	}
+	s, err := flipbit.OpenKVS(dev, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("missing"); !errors.Is(err, flipbit.ErrKVNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrKVNotFound", err)
+	}
+	val := make([]byte, 24)
+	for i := 0; i < 200; i++ {
+		val[0] = byte(i)
+		if err := s.Put(fmt.Sprintf("key%d", i%8), val); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Error("churn never forced a compaction")
+	}
+	if st.Checkpoints == 0 {
+		t.Error("no checkpoint committed")
+	}
+
+	s2, err := flipbit.OpenKVS(dev, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kvst flipbit.KVStats = s2.Stats()
+	if kvst.CheckpointMounts != 1 {
+		t.Errorf("remount did not restore from the checkpoint: %+v", kvst)
+	}
+	for i := 192; i < 200; i++ {
+		want := byte(i)
+		got, err := s2.Get(fmt.Sprintf("key%d", i%8))
+		if err != nil || got[0] != want {
+			t.Fatalf("after remount Get(key%d) = %v, %v; want first byte %d", i%8, got, err, want)
+		}
 	}
 }

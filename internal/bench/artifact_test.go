@@ -82,6 +82,26 @@ func TestValidateArtifactRejects(t *testing.T) {
 			  "e2e_speedup":2,"stats_match":false,
 			  "rows":[{"encoder":"nbit2","family":"nbit","width_bits":8,"values":4096,
 			           "scalar_ns_per_value":50,"kernel_ns_per_value":5,"speedup":10}]}`},
+		{"campaign missing compact+ckpt scenario", "crashcampaign",
+			`{"seed":1,"rows":[{"scenario":"kvs/mixed","cycles":10,"crashes":3,"faults_fired":2,"violation_count":0,"fingerprint":7}]}`},
+		{"campaign compact+ckpt never compacted", "crashcampaign",
+			`{"seed":1,"rows":[{"scenario":"kvs/compact+ckpt","cycles":10,"crashes":3,"faults_fired":2,"violation_count":0,"fingerprint":7,
+			                    "compactions":0,"checkpoints":4,"checkpoint_mounts":2}]}`},
+		{"kvscale speedup below 10x at max keys", "kvscale",
+			`{"seed":1,"page_size":4096,"value_size":64,"hot_key_frac":0.1,"hot_op_frac":0.9,
+			  "rows":[{"keys":1000,"data_pages":30,"slot_pages":3,"ops":1600,"ops_per_sec":1,
+			           "compactions":5,"checkpoints":2,"live_bytes":80000,"used_bytes":100000,"space_amp":1.2,
+			           "scan_mount_device_ms":8,"ckpt_mount_device_ms":1,"mount_speedup":8,"tail_pages_replayed":1}]}`},
+		{"kvscale amplification above gate", "kvscale",
+			`{"seed":1,"page_size":4096,"value_size":64,"hot_key_frac":0.1,"hot_op_frac":0.9,
+			  "rows":[{"keys":1000,"data_pages":30,"slot_pages":3,"ops":1600,"ops_per_sec":1,
+			           "compactions":5,"checkpoints":2,"live_bytes":80000,"used_bytes":200000,"space_amp":2.5,
+			           "scan_mount_device_ms":15,"ckpt_mount_device_ms":1,"mount_speedup":15,"tail_pages_replayed":1}]}`},
+		{"kvscale never compacted", "kvscale",
+			`{"seed":1,"page_size":4096,"value_size":64,"hot_key_frac":0.1,"hot_op_frac":0.9,
+			  "rows":[{"keys":1000,"data_pages":30,"slot_pages":3,"ops":1600,"ops_per_sec":1,
+			           "compactions":0,"checkpoints":2,"live_bytes":80000,"used_bytes":100000,"space_amp":1.2,
+			           "scan_mount_device_ms":15,"ckpt_mount_device_ms":1,"mount_speedup":15,"tail_pages_replayed":1}]}`},
 		{"encode e2e regression", "encode",
 			`{"seed":1,"span_bytes":4096,"e2e_ops":100,"e2e_scalar_ns_per_op":100,"e2e_kernel_ns_per_op":200,
 			  "e2e_speedup":0.5,"stats_match":true,

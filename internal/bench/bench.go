@@ -139,6 +139,7 @@ func Registry() []Experiment {
 		{"encodekernel", "batch encode kernels vs scalar per-value encoding", ExpEncodeKernel},
 		{"crashcampaign", "fault-injection campaign: crash/reboot survival and recovery cost", ExpCrashCampaign},
 		{"lifetime", "writes to first data loss: unmanaged vs endurance-managed", ExpLifetime},
+		{"kvscale", "store at scale: GC under load, space amplification, O(tail) mount", ExpKVScale},
 	}
 }
 

@@ -304,6 +304,35 @@ func TestEncodeKernelShape(t *testing.T) {
 	}
 }
 
+// TestKVScaleShape runs the store-scale experiment at quick scale and
+// requires the report to satisfy its own artifact schema: GC fired under
+// load, checkpoints committed, space amplification within the 2.0 gate, and
+// the checkpointed mount ≥10× the full scan in device time.
+func TestKVScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives thousands of store operations; skipped in -short")
+	}
+	rep, err := RunKVScale(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 2 {
+		t.Fatalf("expected at least 2 key counts, got %d", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		t.Logf("keys=%d ops=%d compactions=%d checkpoints=%d amp=%.2f speedup=%.1f (scan %.1fms, ckpt %.1fms device)",
+			r.Keys, r.Ops, r.Compactions, r.Checkpoints, r.SpaceAmp,
+			r.MountSpeedup, r.ScanMountDeviceMs, r.CkptMountDeviceMs)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateArtifact("kvscale", buf.Bytes()); err != nil {
+		t.Errorf("quick-scale report fails its own schema: %v", err)
+	}
+}
+
 func TestGeomean(t *testing.T) {
 	if g := geomean([]float64{4, 1}); g != 2 {
 		t.Errorf("geomean(4,1) = %v", g)

@@ -32,13 +32,22 @@ const crashCampaignSeed = 0xF1A57
 
 // crashCampaignScenarios are the published configurations: a pure
 // brown-out storm against the raw store, a mixed fault diet (power loss +
-// stuck bits + read disturb), and the same mixed diet through the
-// journaled FTL with commit read-back verification on.
+// stuck bits + read disturb), the same mixed diet through the journaled FTL
+// with commit read-back verification on, and a production-shaped store with
+// proactive compaction and index checkpointing armed — so power loss lands
+// mid-GC and mid-checkpoint, and reboots exercise the O(tail) mount path.
 func crashCampaignScenarios(seed uint64, cycles int) []struct {
 	name string
 	cfg  faultcampaign.Config
 } {
 	brownout := flash.FaultMix{PowerLoss: 1, MinGap: 0, MaxGap: 60}
+	// The compact+ckpt scenario needs room for two 4-page checkpoint slots
+	// next to the data log; 32 pages leaves 24 for data, matching the other
+	// scenarios' default geometry.
+	ckptSpec := flash.DefaultSpec()
+	ckptSpec.PageSize = 128
+	ckptSpec.NumPages = 32
+	ckptSpec.Banks = 1
 	return []struct {
 		name string
 		cfg  faultcampaign.Config
@@ -47,6 +56,10 @@ func crashCampaignScenarios(seed uint64, cycles int) []struct {
 		{"kvs/mixed", faultcampaign.Config{Seed: seed, Cycles: cycles}},
 		{"kvs/mixed+async", faultcampaign.Config{Seed: seed, Cycles: cycles, AsyncCommit: 8}},
 		{"kvs-on-ftl/mixed", faultcampaign.Config{Seed: seed, Cycles: cycles, UseFTL: true, Verify: true}},
+		{"kvs/compact+ckpt", faultcampaign.Config{
+			Seed: seed, Cycles: cycles, Spec: ckptSpec,
+			Compact: true, CheckpointEvery: 12, CheckpointPages: 4,
+		}},
 	}
 }
 

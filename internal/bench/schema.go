@@ -21,12 +21,13 @@ var artifactSchemas = map[string]func(doc map[string]any) error{
 	"crashcampaign": validateCrashCampaign,
 	"lifetime":      validateLifetime,
 	"encode":        validateEncode,
+	"kvscale":       validateKVScale,
 }
 
 // ArtifactKinds lists every artifact stem a repo checkout is expected to
 // carry, in a stable order.
 func ArtifactKinds() []string {
-	return []string{"writepath", "crashcampaign", "lifetime", "encode"}
+	return []string{"writepath", "crashcampaign", "lifetime", "encode", "kvscale"}
 }
 
 // ValidateArtifact parses data as the named artifact kind (a stem from
@@ -248,6 +249,7 @@ func validateCrashCampaign(doc map[string]any) error {
 		return err
 	}
 	fps := map[string]float64{}
+	sawCkpt := false
 	for i, r := range rs {
 		scenario, ok := r["scenario"].(string)
 		if !ok {
@@ -266,6 +268,24 @@ func validateCrashCampaign(doc map[string]any) error {
 			return fmt.Errorf("rows[%d] (%s): zero fingerprint", i, r["scenario"])
 		}
 		fps[scenario] = fp
+		// Invariant: the compact+ckpt scenario must actually exercise the
+		// machinery it exists to crash — GC passes and committed checkpoints
+		// under power loss, with reboots restoring from a checkpoint.
+		if scenario == "kvs/compact+ckpt" {
+			sawCkpt = true
+			for _, f := range []string{"compactions", "checkpoints", "checkpoint_mounts"} {
+				v, err := num(r, f)
+				if err != nil {
+					return fmt.Errorf("rows[%d] (%s): %w", i, scenario, err)
+				}
+				if v == 0 {
+					return fmt.Errorf("rows[%d] (%s): %s is 0; campaign never stressed it", i, scenario, f)
+				}
+			}
+		}
+	}
+	if !sawCkpt {
+		return fmt.Errorf("missing the kvs/compact+ckpt scenario row")
 	}
 	// Invariant: the async commit pipeline replays the synchronous campaign
 	// byte for byte — same seed, same fault schedule, same fingerprint.
@@ -273,6 +293,53 @@ func validateCrashCampaign(doc map[string]any) error {
 		if asyncFP, ok := fps["kvs/mixed+async"]; ok && asyncFP != syncFP {
 			return fmt.Errorf("kvs/mixed+async fingerprint %v != kvs/mixed %v; async pipeline perturbed the campaign", asyncFP, syncFP)
 		}
+	}
+	return nil
+}
+
+func validateKVScale(doc map[string]any) error {
+	for _, f := range []string{"seed", "page_size", "value_size", "hot_key_frac", "hot_op_frac"} {
+		if _, err := num(doc, f); err != nil {
+			return err
+		}
+	}
+	rs, err := rows(doc)
+	if err != nil {
+		return err
+	}
+	if err := requireNums(rs, "keys", "data_pages", "slot_pages", "ops", "ops_per_sec",
+		"compactions", "checkpoints", "live_bytes", "used_bytes", "space_amp",
+		"scan_mount_device_ms", "ckpt_mount_device_ms", "mount_speedup",
+		"tail_pages_replayed"); err != nil {
+		return err
+	}
+	maxKeys, speedupAtMax := 0.0, 0.0
+	for i, r := range rs {
+		// Invariants per row: the workload actually forced GC and committed
+		// checkpoints, amplification stayed under the 2.0 gate, and the
+		// checkpointed mount beat the scan at all.
+		if c, _ := num(r, "compactions"); c == 0 {
+			return fmt.Errorf("rows[%d]: compactions is 0; workload never forced GC", i)
+		}
+		if c, _ := num(r, "checkpoints"); c < 1 {
+			return fmt.Errorf("rows[%d]: no checkpoint committed", i)
+		}
+		amp, _ := num(r, "space_amp")
+		if amp < 1 || amp > 2.0 {
+			return fmt.Errorf("rows[%d]: space_amp %.2f outside [1, 2.0]", i, amp)
+		}
+		sp, _ := num(r, "mount_speedup")
+		if sp <= 1 {
+			return fmt.Errorf("rows[%d]: mount_speedup %.2f; checkpointed mount did not beat the scan", i, sp)
+		}
+		if k, _ := num(r, "keys"); k > maxKeys {
+			maxKeys, speedupAtMax = k, sp
+		}
+	}
+	// Invariant: the tentpole claim — at the largest key count the
+	// checkpointed mount is at least 10× faster (device time) than the scan.
+	if speedupAtMax < 10 {
+		return fmt.Errorf("mount_speedup at %d keys is %.2f, want >= 10", int(maxKeys), speedupAtMax)
 	}
 	return nil
 }

@@ -61,6 +61,20 @@ type Config struct {
 	// only (the FTL drives the device directly).
 	AsyncCommit int
 
+	// Compact arms the store's proactive garbage collector
+	// (kvs.WithCompaction, default tuning), so space is reclaimed under the
+	// cycle workload — and power loss lands mid-compaction — instead of GC
+	// running only when an append finds the log full.
+	Compact bool
+	// CheckpointEvery > 0 arms index checkpointing (kvs.WithCheckpoint): a
+	// checkpoint every N committed appends, so reboots restore from the
+	// newest valid slot and replay only the tail — and power loss can tear
+	// a checkpoint mid-write, which recovery must shrug off.
+	CheckpointEvery int
+	// CheckpointPages sizes each of the two checkpoint slots, in pages
+	// (default 2, with CheckpointEvery set).
+	CheckpointPages int
+
 	// Spares reserves a retirement pool in the FTL (requires UseFTL), so
 	// worn pages are remapped instead of quarantined.
 	Spares int
@@ -104,6 +118,9 @@ func (c Config) withDefaults() Config {
 	if c.Scrub && c.ScrubPages <= 0 {
 		c.ScrubPages = 2
 	}
+	if c.CheckpointEvery > 0 && c.CheckpointPages <= 0 {
+		c.CheckpointPages = 2
+	}
 	return c
 }
 
@@ -130,11 +147,17 @@ type Result struct {
 	RecoveryEnergy   energy.Energy `json:"recovery_energy_j"`
 	MeanRecoveryBusy time.Duration `json:"mean_recovery_busy_ns"`
 
-	// Resilience counters from the final store state.
+	// Resilience counters from the final store state; Compactions and the
+	// checkpoint counters accumulate across every reboot's store lifetime.
 	WastedPages   uint64 `json:"wasted_pages"` // retired + quarantined
 	CorrectedBits uint64 `json:"corrected_bits"`
 	TornSkipped   uint64 `json:"torn_skipped"`
 	Compactions   uint64 `json:"compactions"`
+
+	Checkpoints        uint64 `json:"checkpoints,omitempty"`
+	CheckpointFailures uint64 `json:"checkpoint_failures,omitempty"`
+	CheckpointMounts   uint64 `json:"checkpoint_mounts,omitempty"`
+	ScanMounts         uint64 `json:"scan_mounts,omitempty"`
 
 	FTLRolledForward uint64 `json:"ftl_rolled_forward,omitempty"`
 	FTLRolledBack    uint64 `json:"ftl_rolled_back,omitempty"`
@@ -179,6 +202,10 @@ type campaign struct {
 	scrubTotals     core.ScrubStats
 	ftlRetireTotal  uint64
 	ftlRefreshTotal uint64
+	// kvsTotals accumulates the lifetime counters (compactions,
+	// checkpoints, mount paths) of stores retired by reboots — a remount
+	// starts a fresh kvs.Stats, but the campaign reports totals.
+	kvsTotals kvs.Stats
 
 	model   map[string][]byte // acked key → value
 	pending pendingOp
@@ -225,6 +252,10 @@ func Run(cfg Config) (*Result, error) {
 // mount (re)builds the software stack over the persistent flash array,
 // as a reboot would.
 func (c *campaign) mount() error {
+	if c.store != nil {
+		c.foldStoreStats(c.store.Stats())
+		c.store = nil
+	}
 	var backendErr error
 	if c.cfg.UseFTL {
 		if c.ftl != nil {
@@ -286,11 +317,29 @@ func addScrubStats(a, b core.ScrubStats) core.ScrubStats {
 	}
 }
 
+// foldStoreStats accumulates a retired store's lifetime counters.
+func (c *campaign) foldStoreStats(st kvs.Stats) {
+	c.kvsTotals.Compactions += st.Compactions
+	c.kvsTotals.Checkpoints += st.Checkpoints
+	c.kvsTotals.CheckpointFailures += st.CheckpointFailures
+	c.kvsTotals.CheckpointMounts += st.CheckpointMounts
+	c.kvsTotals.ScanMounts += st.ScanMounts
+}
+
 // openStore mounts the kvs layer on the chosen backend.
 func (c *campaign) openStore(f *ftl.FTL) (*kvs.Store, error) {
 	var opts []kvs.Option
 	if c.cfg.Verify {
 		opts = append(opts, kvs.WithVerify())
+	}
+	if c.cfg.Compact {
+		opts = append(opts, kvs.WithCompaction(kvs.CompactionConfig{}))
+	}
+	if c.cfg.CheckpointEvery > 0 {
+		opts = append(opts, kvs.WithCheckpoint(kvs.CheckpointConfig{
+			SlotPages: c.cfg.CheckpointPages,
+			Interval:  c.cfg.CheckpointEvery,
+		}))
 	}
 	if f != nil {
 		return kvs.OpenOn(f, opts...)
@@ -539,10 +588,15 @@ func (c *campaign) violation(cycle int, format string, args ...any) {
 // finish folds the terminal state into the result.
 func (c *campaign) finish() {
 	st := c.store.Stats()
+	c.foldStoreStats(st)
 	c.res.WastedPages = st.RetiredPages + st.QuarantinedPages
 	c.res.CorrectedBits = st.CorrectedBits
 	c.res.TornSkipped = st.TornSkipped
-	c.res.Compactions = st.Compactions
+	c.res.Compactions = c.kvsTotals.Compactions
+	c.res.Checkpoints = c.kvsTotals.Checkpoints
+	c.res.CheckpointFailures = c.kvsTotals.CheckpointFailures
+	c.res.CheckpointMounts = c.kvsTotals.CheckpointMounts
+	c.res.ScanMounts = c.kvsTotals.ScanMounts
 	c.res.FinalLiveKeys = c.store.Len()
 	c.res.FaultsFired = c.fl.FaultsFired()
 	if c.ftl != nil {
@@ -565,6 +619,7 @@ func (c *campaign) finish() {
 		c.res.MeanRecoveryBusy = c.res.RecoveryBusy / time.Duration(c.res.Crashes)
 	}
 	c.mix(c.res.FaultsFired, uint64(c.res.Crashes), uint64(c.res.ViolationCount))
+	c.mix(c.res.Compactions, c.res.Checkpoints, c.res.CheckpointMounts, c.res.ScanMounts)
 	c.res.Fingerprint = c.fp
 }
 

@@ -168,3 +168,59 @@ func TestCampaignAsyncCommitReplayByteIdentical(t *testing.T) {
 		t.Error("async campaign never crashed; pipeline is not exercising faults")
 	}
 }
+
+// ckptTestConfig is the crash-during-GC/checkpoint configuration: proactive
+// compaction and interval checkpointing armed on a geometry with room for
+// two 4-page checkpoint slots.
+func ckptTestConfig(seed uint64, cycles int) Config {
+	spec := flash.DefaultSpec()
+	spec.PageSize = 128
+	spec.NumPages = 32
+	spec.Banks = 1
+	return Config{
+		Seed: seed, Cycles: cycles, Spec: spec,
+		Compact: true, CheckpointEvery: 12, CheckpointPages: 4,
+	}
+}
+
+// TestCampaignCompactionCheckpoint is the crash-during-GC/checkpoint
+// acceptance run: power loss lands mid-compaction and mid-checkpoint-write,
+// reboots restore from whatever checkpoint survived and replay the tail,
+// and no acked key is ever lost. The workload must actually exercise the
+// machinery: GC passes, committed checkpoints, and checkpointed mounts all
+// have to show up in the totals.
+func TestCampaignCompactionCheckpoint(t *testing.T) {
+	res, err := Run(ckptTestConfig(7, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertClean(t, res)
+	if res.Compactions == 0 {
+		t.Error("campaign never compacted")
+	}
+	if res.Checkpoints == 0 {
+		t.Error("campaign never committed a checkpoint")
+	}
+	if res.CheckpointMounts == 0 {
+		t.Error("no reboot ever mounted from a checkpoint")
+	}
+	t.Logf("compactions=%d checkpoints=%d (failures %d) mounts: %d ckpt / %d scan",
+		res.Compactions, res.Checkpoints, res.CheckpointFailures,
+		res.CheckpointMounts, res.ScanMounts)
+}
+
+// TestCampaignCompactionCheckpointReplay: the compact+ckpt campaign replays
+// byte-identically — torn checkpoints, GC crash points and all.
+func TestCampaignCompactionCheckpointReplay(t *testing.T) {
+	a, err := Run(ckptTestConfig(99, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ckptTestConfig(99, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}

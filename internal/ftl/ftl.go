@@ -356,6 +356,17 @@ func (f *FTL) swap(a, b int) error {
 	return nil
 }
 
+// PageWear returns the erase count of the physical page currently backing
+// logical page lp. This makes the FTL a kvs.WearBackend, so the store's
+// proactive compaction biases victim selection toward low-wear pages even
+// when its log rides on translated storage.
+func (f *FTL) PageWear(lp int) uint32 {
+	if lp < 0 || lp >= len(f.l2p) {
+		return 0
+	}
+	return f.dev.Flash().Wear(f.l2p[lp])
+}
+
 // WearSpread returns (max wear, mean wear) across physical pages — the
 // leveling quality metric; device lifetime ends at max wear.
 func (f *FTL) WearSpread() (max uint32, mean float64) {

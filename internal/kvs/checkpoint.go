@@ -1,0 +1,576 @@
+package kvs
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"github.com/flipbit-sim/flipbit/internal/flash"
+)
+
+// Index checkpointing. A plain mount reads every page twice (classify,
+// then replay) and CRC-checks every record — O(device). WithCheckpoint
+// reserves two slots at the end of the page array and periodically
+// serializes the whole in-memory state — index, per-page accounting,
+// nextSeq — into a CRC'd blob written ping-pong into the older slot, the
+// same discipline as the FTL's map checkpoints (internal/ftl/journal.go).
+// Mount then reads the newest valid blob plus one 8-byte header per page,
+// and replays only the pages written since the checkpoint: O(tail).
+//
+// The full scan stays the universal safety valve: a torn, stale or
+// structurally implausible checkpoint — or any page whose header disagrees
+// with the blob in a way the divergence rules below cannot explain — is
+// rejected wholesale and the store falls back to scanning. Both mount
+// paths honor the nextSeq floor recorded in every valid slot, so sequence
+// numbers are monotonic across mounts whichever path ran, and a surviving
+// checkpoint can never mistake a recycled sequence number for a page it
+// knew.
+//
+// Checkpoint blob layout (all integers little-endian):
+//
+//	magic "FBCP" | version(1) | flags(1) | blobLen(4) | cpSeq(8) |
+//	nextSeq(4) | dataPages(4) | keyCount(4)
+//	dataPages × [ seq(4) | used(4) | live(4) | flags(1) ]   (bit0 = bad)
+//	keyCount  × [ keyLen(1) | key | page(4) | off(2) | size(2) | flags(1) ]
+//	crc32(4) over everything before it
+const (
+	ckptMagic    = "FBCP"
+	ckptVersion  = 1
+	ckptHdrSize  = 4 + 1 + 1 + 4 + 8 + 4 + 4 + 4
+	ckptPageSize = 13 // per-page table entry
+	ckptKeyFixed = 10 // per-key entry, excluding the key bytes
+
+	ckptPageBad   = 0x01
+	ckptEntryDead = 0x01
+)
+
+// ErrNoCheckpoint reports a Checkpoint call on a store mounted without
+// WithCheckpoint.
+var ErrNoCheckpoint = errors.New("kvs: checkpointing not configured")
+
+// CheckpointConfig tunes index checkpointing.
+type CheckpointConfig struct {
+	// SlotPages is the size of each of the two checkpoint slots, in pages
+	// (default 1). The blob must fit one slot: 30 bytes + 13 per data page
+	// + (10 + len(key)) per key + 4.
+	SlotPages int
+	// Interval auto-checkpoints every Interval committed appends
+	// (0 = manual Checkpoint calls only).
+	Interval int
+	// ScanOnly reserves the region and honors the recorded nextSeq floor,
+	// but always mounts by full scan — the differential baseline for the
+	// checkpointed mount path.
+	ScanOnly bool
+}
+
+// WithCheckpoint reserves two checkpoint slots at the end of the page
+// array and arms O(tail) mounts.
+func WithCheckpoint(cfg CheckpointConfig) Option {
+	return func(s *Store) {
+		s.ckpt = &checkpointState{cfg: cfg}
+	}
+}
+
+// checkpointState is the store's runtime checkpoint bookkeeping.
+type checkpointState struct {
+	cfg      CheckpointConfig
+	slotBase [2]int // first absolute page of each slot
+	lastSlot int    // slot holding the newest valid checkpoint; writes go to the other
+	cpSeq    uint64 // sequence of the newest valid checkpoint
+	appends  int    // committed appends since the last checkpoint
+}
+
+// layoutCheckpoint carves the checkpoint region out of the page array.
+func (s *Store) layoutCheckpoint() error {
+	if s.ckpt == nil {
+		return nil
+	}
+	c := &s.ckpt.cfg
+	if c.SlotPages <= 0 {
+		c.SlotPages = 1
+	}
+	if s.ps < ckptHdrSize+crcSize {
+		return fmt.Errorf("kvs: checkpointing needs pages of at least %d bytes, got %d", ckptHdrSize+crcSize, s.ps)
+	}
+	if s.ps > 0xFFFF {
+		return fmt.Errorf("kvs: checkpointing needs pages of at most 64 KiB, got %d", s.ps)
+	}
+	reserve := 2 * c.SlotPages
+	if s.np-reserve < 3 {
+		return fmt.Errorf("kvs: checkpoint region (%d of %d pages) leaves too little data space", reserve, s.np)
+	}
+	s.np -= reserve
+	s.ckpt.slotBase[0] = s.np
+	s.ckpt.slotBase[1] = s.np + c.SlotPages
+	return nil
+}
+
+// Checkpoint serializes the store's state into the older slot. On success
+// the next mount restores from it and replays only younger pages. Failures
+// (oversized blob, erase or program error, torn read-back) leave the
+// previous checkpoint in force; power loss propagates.
+func (s *Store) Checkpoint() error {
+	if s.ckpt == nil {
+		return ErrNoCheckpoint
+	}
+	c := s.ckpt
+	blob := s.encodeCheckpoint(c.cpSeq + 1)
+	if cap := c.cfg.SlotPages * s.ps; len(blob) > cap {
+		s.stats.CheckpointFailures++
+		return fmt.Errorf("kvs: checkpoint blob (%d bytes) exceeds slot capacity (%d bytes)", len(blob), cap)
+	}
+	slot := 1 - c.lastSlot
+	base := c.slotBase[slot]
+	pages := (len(blob) + s.ps - 1) / s.ps
+	for i := 0; i < pages; i++ {
+		if err := s.b.ErasePage(base + i); err != nil {
+			s.stats.CheckpointFailures++
+			if errors.Is(err, flash.ErrPowerLoss) {
+				return err
+			}
+			return fmt.Errorf("kvs: checkpoint slot erase: %w", err)
+		}
+	}
+	addr := s.pageBase(base)
+	if err := s.b.Write(addr, blob); err != nil {
+		s.stats.CheckpointFailures++
+		if errors.Is(err, flash.ErrPowerLoss) {
+			return err
+		}
+		return fmt.Errorf("kvs: checkpoint program: %w", err)
+	}
+	// Read-back: a checkpoint that does not verify is worse than none — a
+	// stuck cell in the blob would burn a mount's fallback scan every boot.
+	got := make([]byte, len(blob))
+	if err := s.b.Read(addr, got); err != nil {
+		s.stats.CheckpointFailures++
+		return err
+	}
+	for i := range blob {
+		if got[i] != blob[i] {
+			s.stats.CheckpointFailures++
+			return fmt.Errorf("kvs: checkpoint read-back mismatch at byte %d", i)
+		}
+	}
+	c.lastSlot = slot
+	c.cpSeq++
+	c.appends = 0
+	s.stats.Checkpoints++
+	return nil
+}
+
+// maybeCheckpoint is the post-append hook implementing
+// CheckpointConfig.Interval. Non-fatal checkpoint failures are absorbed
+// (counted in CheckpointFailures; the previous checkpoint stays in force
+// and the next interval retries); power loss propagates.
+func (s *Store) maybeCheckpoint() error {
+	c := s.ckpt
+	if c == nil || c.cfg.Interval <= 0 {
+		return nil
+	}
+	c.appends++
+	if c.appends < c.cfg.Interval {
+		return nil
+	}
+	if err := s.Checkpoint(); err != nil {
+		if errors.Is(err, flash.ErrPowerLoss) {
+			return err
+		}
+		c.appends = 0
+	}
+	return nil
+}
+
+// encodeCheckpoint serializes the store state. Keys are emitted sorted so
+// the blob bytes are a deterministic function of the logical state.
+func (s *Store) encodeCheckpoint(cpSeq uint64) []byte {
+	keys := make([]string, 0, len(s.index))
+	n := ckptHdrSize + s.np*ckptPageSize + crcSize
+	for k := range s.index {
+		keys = append(keys, k)
+		n += ckptKeyFixed + len(k)
+	}
+	sort.Strings(keys)
+
+	blob := make([]byte, n)
+	copy(blob, ckptMagic)
+	blob[4] = ckptVersion
+	blob[5] = 0
+	putLEU32(blob[6:], uint32(n))
+	putLEU64(blob[10:], cpSeq)
+	putLEU32(blob[18:], s.nextSeq)
+	putLEU32(blob[22:], uint32(s.np))
+	putLEU32(blob[26:], uint32(len(keys)))
+	off := ckptHdrSize
+	for p := 0; p < s.np; p++ {
+		putLEU32(blob[off:], s.pageSeq[p])
+		putLEU32(blob[off+4:], uint32(s.pageUsed[p]))
+		putLEU32(blob[off+8:], uint32(s.pageLive[p]))
+		if s.pageBad[p] {
+			blob[off+12] = ckptPageBad
+		}
+		off += ckptPageSize
+	}
+	for _, k := range keys {
+		loc := s.index[k]
+		blob[off] = byte(len(k))
+		copy(blob[off+1:], k)
+		off += 1 + len(k)
+		putLEU32(blob[off:], uint32(loc.page))
+		putLEU16(blob[off+4:], uint16(loc.off))
+		putLEU16(blob[off+6:], uint16(loc.size))
+		if loc.dead {
+			blob[off+8] = ckptEntryDead
+		}
+		off += ckptKeyFixed - 1
+	}
+	putLEU32(blob[off:], crc32.ChecksumIEEE(blob[:off]))
+	return blob
+}
+
+// ckptImage is a decoded, validated checkpoint blob.
+type ckptImage struct {
+	cpSeq    uint64
+	nextSeq  uint32
+	pageSeq  []uint32
+	pageUsed []int
+	pageLive []int
+	pageBad  []bool
+	entries  map[string]location
+}
+
+// loadCheckpoint reads both slots and returns the newest valid image (nil
+// when neither slot holds one) plus the nextSeq floor across every valid
+// slot. It also primes the writer state — slot rotation and checkpoint
+// sequence continue from the newest image whichever mount path runs.
+func (s *Store) loadCheckpoint() (*ckptImage, uint32, error) {
+	var best *ckptImage
+	var floor uint32
+	bestSlot := 0
+	for slot := 0; slot < 2; slot++ {
+		img, err := s.readCkptSlot(slot)
+		if err != nil {
+			return nil, 0, err
+		}
+		if img == nil {
+			continue
+		}
+		if img.nextSeq > floor {
+			floor = img.nextSeq
+		}
+		if best == nil || img.cpSeq > best.cpSeq {
+			best, bestSlot = img, slot
+		}
+	}
+	if best != nil {
+		s.ckpt.lastSlot = bestSlot
+		s.ckpt.cpSeq = best.cpSeq
+	}
+	return best, floor, nil
+}
+
+// readCkptSlot reads and fully validates one slot. A nil image (with nil
+// error) means the slot holds no usable checkpoint; only backend read
+// errors propagate. Validation is strict on purpose: every field an
+// attacker — or a torn write — could skew either fails a check here or is
+// caught by the divergence rules in applyCheckpoint, and anything
+// suspicious rejects the whole blob rather than risking a wrong index.
+func (s *Store) readCkptSlot(slot int) (*ckptImage, error) {
+	base := s.ckpt.slotBase[slot]
+	capacity := s.ckpt.cfg.SlotPages * s.ps
+	first := make([]byte, s.ps)
+	if err := s.b.Read(s.pageBase(base), first); err != nil {
+		return nil, err
+	}
+	if string(first[:4]) != ckptMagic || first[4] != ckptVersion {
+		return nil, nil
+	}
+	blobLen := int(leU32(first[6:]))
+	if blobLen < ckptHdrSize+crcSize || blobLen > capacity {
+		return nil, nil
+	}
+	blob := make([]byte, blobLen)
+	n := copy(blob, first)
+	if n < blobLen {
+		if err := s.b.Read(s.pageBase(base)+n, blob[n:]); err != nil {
+			return nil, err
+		}
+	}
+	if crc32.ChecksumIEEE(blob[:blobLen-crcSize]) != leU32(blob[blobLen-crcSize:]) {
+		return nil, nil
+	}
+
+	img := &ckptImage{
+		cpSeq:   leU64(blob[10:]),
+		nextSeq: leU32(blob[18:]),
+	}
+	dataPages := int(leU32(blob[22:]))
+	keyCount := int(leU32(blob[26:]))
+	if dataPages != s.np || img.nextSeq == freeSeq || keyCount < 0 {
+		return nil, nil
+	}
+	need := ckptHdrSize + dataPages*ckptPageSize + keyCount*ckptKeyFixed + crcSize
+	if need > blobLen {
+		return nil, nil
+	}
+	img.pageSeq = make([]uint32, dataPages)
+	img.pageUsed = make([]int, dataPages)
+	img.pageLive = make([]int, dataPages)
+	img.pageBad = make([]bool, dataPages)
+	seen := make(map[uint32]bool, dataPages)
+	off := ckptHdrSize
+	for p := 0; p < dataPages; p++ {
+		seq := leU32(blob[off:])
+		used := int(leU32(blob[off+4:]))
+		live := int(leU32(blob[off+8:]))
+		flags := blob[off+12]
+		off += ckptPageSize
+		if flags&^byte(ckptPageBad) != 0 {
+			return nil, nil
+		}
+		switch {
+		case flags&ckptPageBad != 0:
+			if seq != freeSeq || used != s.ps || live != 0 {
+				return nil, nil
+			}
+		case seq == freeSeq:
+			if used != 0 || live != 0 {
+				return nil, nil
+			}
+		default:
+			if seq >= img.nextSeq || seen[seq] {
+				return nil, nil
+			}
+			seen[seq] = true
+			if used < pageHeaderSize || used > s.ps || live < 0 || live > used-pageHeaderSize {
+				return nil, nil
+			}
+		}
+		img.pageSeq[p] = seq
+		img.pageUsed[p] = used
+		img.pageLive[p] = live
+		img.pageBad[p] = flags&ckptPageBad != 0
+	}
+	img.entries = make(map[string]location, keyCount)
+	entryLive := make([]int, dataPages)
+	for i := 0; i < keyCount; i++ {
+		if off+1 > blobLen-crcSize {
+			return nil, nil
+		}
+		keyLen := int(blob[off])
+		if keyLen == 0 || off+1+keyLen+ckptKeyFixed-1 > blobLen-crcSize {
+			return nil, nil
+		}
+		key := string(blob[off+1 : off+1+keyLen])
+		off += 1 + keyLen
+		page := int(leU32(blob[off:]))
+		recOff := int(leU16(blob[off+4:]))
+		size := int(leU16(blob[off+6:]))
+		flags := blob[off+8]
+		off += ckptKeyFixed - 1
+		if flags&^byte(ckptEntryDead) != 0 {
+			return nil, nil
+		}
+		if page < 0 || page >= dataPages || img.pageBad[page] || img.pageSeq[page] == freeSeq {
+			return nil, nil
+		}
+		if recOff < pageHeaderSize || size < recHeaderSize+1+crcSize || recOff+size > img.pageUsed[page] {
+			return nil, nil
+		}
+		if _, dup := img.entries[key]; dup {
+			return nil, nil
+		}
+		img.entries[key] = location{
+			seq: img.pageSeq[page], page: page, off: recOff, size: size,
+			dead: flags&ckptEntryDead != 0,
+		}
+		entryLive[page] += size
+	}
+	if off != blobLen-crcSize {
+		return nil, nil
+	}
+	// Every live byte the page table claims must be exactly accounted for
+	// by entries — the store writes checkpoints that balance, so anything
+	// else is damage or forgery.
+	for p := 0; p < dataPages; p++ {
+		if entryLive[p] != img.pageLive[p] {
+			return nil, nil
+		}
+	}
+	return img, nil
+}
+
+// applyCheckpoint installs a checkpoint image and reconciles it with the
+// flash, reading one 8-byte header per page to classify each page against
+// the blob's page table:
+//
+//	blob state  header state          meaning                     action
+//	─────────── ───────────────────── ──────────────────────────  ──────────
+//	in-use      same seq              unchanged (or appended to)  trust; replay tail if used < ps
+//	in-use      free                  erased by GC after ckpt     drop its entries (copies live past nextSeq)
+//	in-use      seq >= blob nextSeq   erased and reused           drop entries; replay fully
+//	in-use      quarantined           damaged after ckpt          drop entries; mark bad
+//	free/bad    free                  free (or reclaimed)         free
+//	free/bad    seq >= blob nextSeq   opened after ckpt           replay fully
+//	bad         quarantined           still bad                   keep bad
+//	free        quarantined           torn header after ckpt      mark bad
+//	any         seq < blob nextSeq,   a page the checkpoint       REJECT: full-scan fallback
+//	            and != blob seq       cannot explain
+//
+// Tail pages replay in sequence order after the checkpoint's index is
+// installed, exactly as the scan path would order them — every pre-ckpt
+// page's sequence is below blob nextSeq, every replayed page's is at or
+// above it (or is the partially-filled head continuing its own page).
+// ok=false means the image was rejected; the caller falls back to a scan.
+func (s *Store) applyCheckpoint(img *ckptImage) (ok bool, err error) {
+	saved := s.stats
+	copy(s.pageSeq, img.pageSeq)
+	copy(s.pageUsed, img.pageUsed)
+	copy(s.pageLive, img.pageLive)
+	copy(s.pageBad, img.pageBad)
+	s.index = img.entries
+	s.nextSeq = img.nextSeq
+
+	var partial, tail []pageInfo
+	var hdr [pageHeaderSize]byte
+	for p := 0; p < s.np; p++ {
+		if err := s.b.Read(s.pageBase(p), hdr[:]); err != nil {
+			return false, err
+		}
+		seq, state := parsePageHeader(hdr[:], &s.stats)
+		switch {
+		case img.pageBad[p] || img.pageSeq[p] == freeSeq: // free or bad at ckpt
+			switch state {
+			case pageFree:
+				s.markMountFree(p)
+			case pageQuarantined:
+				s.markMountBad(p)
+			default:
+				if seq < img.nextSeq {
+					s.stats = saved
+					return false, nil
+				}
+				s.markMountFree(p)
+				tail = append(tail, pageInfo{p, seq})
+			}
+		default: // in use at ckpt
+			switch {
+			case state == pageInUse && seq == img.pageSeq[p]:
+				if img.pageUsed[p] < s.ps {
+					partial = append(partial, pageInfo{p, seq})
+				}
+			case state == pageFree:
+				s.dropPageEntries(p)
+				s.markMountFree(p)
+			case state == pageQuarantined:
+				s.dropPageEntries(p)
+				s.markMountBad(p)
+			case seq >= img.nextSeq:
+				s.dropPageEntries(p)
+				s.markMountFree(p)
+				tail = append(tail, pageInfo{p, seq})
+			default:
+				s.stats = saved
+				return false, nil
+			}
+		}
+	}
+
+	// Replay the divergent pages oldest-first, the same order a scan
+	// imposes; partially-filled checkpointed pages (sequences below the
+	// blob's nextSeq) replay before post-checkpoint pages by construction.
+	sort.Slice(partial, func(i, j int) bool { return partial[i].seq < partial[j].seq })
+	sort.Slice(tail, func(i, j int) bool { return tail[i].seq < tail[j].seq })
+	buf := make([]byte, s.ps)
+	replayed := 0
+	for _, pi := range partial {
+		// Only the suffix past the checkpointed fill point can hold new
+		// records; the parse below starts there, so skip re-reading the
+		// prefix the blob already described (usually the whole page bar a
+		// few slack bytes).
+		start := img.pageUsed[pi.page]
+		if err := s.b.Read(s.pageBase(pi.page)+start, buf[start:]); err != nil {
+			return false, err
+		}
+		s.replayPageFrom(pi.page, pi.seq, buf, start)
+		if s.pageUsed[pi.page] != start {
+			replayed++
+		}
+	}
+	for _, pi := range tail {
+		if err := s.b.Read(s.pageBase(pi.page), buf); err != nil {
+			return false, err
+		}
+		s.pageSeq[pi.page] = pi.seq
+		s.replayPage(pi.page, pi.seq, buf)
+		if pi.seq >= s.nextSeq {
+			s.nextSeq = pi.seq + 1
+		}
+		replayed++
+	}
+	s.stats.TailPagesReplayed += uint64(replayed)
+
+	// Resume appending into the newest page if it has room, and recount
+	// the quarantine pool — exactly what a scan would have concluded.
+	newest := -1
+	for p := 0; p < s.np; p++ {
+		if s.pageBad[p] {
+			s.stats.QuarantinedPages++
+			continue
+		}
+		if s.pageSeq[p] == freeSeq {
+			continue
+		}
+		if newest < 0 || s.pageSeq[p] > s.pageSeq[newest] {
+			newest = p
+		}
+	}
+	s.head = -1
+	if newest >= 0 && s.pageUsed[newest] < s.ps {
+		s.head = newest
+	}
+	return true, nil
+}
+
+// markMountFree resets a page's accounting to free during checkpoint mount.
+func (s *Store) markMountFree(p int) {
+	s.pageSeq[p] = freeSeq
+	s.pageUsed[p] = 0
+	s.pageLive[p] = 0
+	s.pageBad[p] = false
+}
+
+// markMountBad quarantines a page during checkpoint mount.
+func (s *Store) markMountBad(p int) {
+	s.pageSeq[p] = freeSeq
+	s.pageUsed[p] = s.ps
+	s.pageLive[p] = 0
+	s.pageBad[p] = true
+}
+
+// dropPageEntries removes every index entry pointing at page p — the page
+// was erased, reused or quarantined after the checkpoint, and whatever was
+// live on it either lives on in GC copies past the checkpoint's nextSeq
+// (restored by tail replay) or is gone with the quarantine, matching scan.
+func (s *Store) dropPageEntries(p int) {
+	for k, loc := range s.index {
+		if loc.page == p {
+			delete(s.index, k)
+		}
+	}
+	s.pageLive[p] = 0
+}
+
+func leU16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+
+func putLEU16(b []byte, v uint16) { b[0], b[1] = byte(v), byte(v>>8) }
+
+func leU64(b []byte) uint64 {
+	return uint64(leU32(b)) | uint64(leU32(b[4:]))<<32
+}
+
+func putLEU64(b []byte, v uint64) {
+	putLEU32(b, uint32(v))
+	putLEU32(b[4:], uint32(v>>32))
+}

@@ -81,6 +81,15 @@ func (c coreBackend) Write(addr int, data []byte) error { return c.dev.Write(add
 func (c coreBackend) ErasePage(p int) error             { return c.dev.Flash().ErasePage(p) }
 func (c coreBackend) PageSize() int                     { return c.dev.Flash().Spec().PageSize }
 func (c coreBackend) NumPages() int                     { return c.dev.Flash().Spec().NumPages }
+func (c coreBackend) PageWear(p int) uint32             { return c.dev.Flash().Wear(p) }
+
+// WearBackend is an optional Backend extension exposing per-page erase
+// counts. When the backend implements it, proactive compaction biases
+// victim selection toward low-wear pages so GC itself levels wear; plain
+// backends get garbage-ratio-only selection.
+type WearBackend interface {
+	PageWear(p int) uint32
+}
 
 // Stats counts the store's resilience events.
 type Stats struct {
@@ -90,6 +99,13 @@ type Stats struct {
 	VerifyFailures   uint64 // read-back mismatches after a commit (WithVerify)
 	QuarantinedPages uint64 // pages with unrepairable headers awaiting reclaim
 	RetiredPages     uint64 // pages abandoned mid-use after a verify failure
+	ReclaimRejected  uint64 // reclaim erases whose verify found residue (page stays quarantined)
+
+	Checkpoints        uint64 // index checkpoints committed to a slot
+	CheckpointFailures uint64 // checkpoint attempts that failed (oversize, erase/program error, torn)
+	CheckpointMounts   uint64 // mounts restored from a checkpoint (the O(tail) path)
+	ScanMounts         uint64 // mounts that scanned every page (no, stale, or rejected checkpoint)
+	TailPagesReplayed  uint64 // pages replayed past the checkpoint across all mounts
 }
 
 // location addresses the newest record for a key.
@@ -105,7 +121,7 @@ type location struct {
 type Store struct {
 	b  Backend
 	ps int // page size
-	np int // page count
+	np int // data page count (excludes the checkpoint region, when configured)
 
 	index    map[string]location
 	pageSeq  []uint32 // sequence per page (freeSeq = free)
@@ -116,6 +132,14 @@ type Store struct {
 	nextSeq  uint32
 	inGC     bool
 	verify   bool // read back every committed record
+
+	wb   WearBackend // b, when it exposes per-page wear (else nil)
+	comp *CompactionConfig
+	ckpt *checkpointState
+	// compactDue gates the O(np) proactive-compaction check: the free-page
+	// count and garbage ratio only move meaningfully when a page opens, so
+	// the check runs once per opened page, not once per append.
+	compactDue bool
 
 	stats Stats
 }
@@ -137,35 +161,88 @@ func Open(dev *core.Device, opts ...Option) (*Store, error) {
 	return OpenOn(coreBackend{dev}, opts...)
 }
 
-// OpenOn mounts the store on any backend, scanning every page and
-// rebuilding the index. Torn records (bad CRC) and torn pages are skipped
-// — single-bit damage is repaired in passing — so a store survives power
-// loss during writes.
+// OpenOn mounts the store on any backend. Without a checkpoint (or with a
+// stale, torn or rejected one) every page is scanned and the index rebuilt;
+// torn records (bad CRC) and torn pages are skipped — single-bit damage is
+// repaired in passing — so a store survives power loss during writes. With
+// WithCheckpoint, mount restores the index from the newest valid checkpoint
+// and replays only the log tail written since it.
 func OpenOn(b Backend, opts ...Option) (*Store, error) {
 	s := &Store{
-		b:       b,
-		ps:      b.PageSize(),
-		np:      b.NumPages(),
-		index:   make(map[string]location),
-		head:    -1,
-		nextSeq: 0,
+		b:     b,
+		ps:    b.PageSize(),
+		np:    b.NumPages(),
+		index: make(map[string]location),
+		head:  -1,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.comp != nil {
+		s.comp.normalize()
+	}
+	if err := s.layoutCheckpoint(); err != nil {
+		return nil, err
 	}
 	s.pageSeq = make([]uint32, s.np)
 	s.pageUsed = make([]int, s.np)
 	s.pageLive = make([]int, s.np)
 	s.pageBad = make([]bool, s.np)
-	for _, o := range opts {
-		o(s)
+	s.wb, _ = b.(WearBackend)
+	s.compactDue = true
+
+	// With checkpointing configured, read both slots up front: the newest
+	// valid image drives the O(tail) mount, and the nextSeq floor across
+	// every valid slot is honored by BOTH mount paths, so sequence numbers
+	// stay monotonic across mounts and a stale checkpoint can never see a
+	// recycled sequence number collide with its page table.
+	var img *ckptImage
+	var seqFloor uint32
+	if s.ckpt != nil {
+		var err error
+		img, seqFloor, err = s.loadCheckpoint()
+		if err != nil {
+			return nil, err
+		}
 	}
-	type pageInfo struct {
-		page int
-		seq  uint32
+	if img != nil && !s.ckpt.cfg.ScanOnly {
+		ok, err := s.applyCheckpoint(img)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if seqFloor > s.nextSeq {
+				s.nextSeq = seqFloor
+			}
+			s.stats.CheckpointMounts++
+			return s, nil
+		}
+		s.resetMountState()
 	}
+	if err := s.scanMount(); err != nil {
+		return nil, err
+	}
+	if seqFloor > s.nextSeq {
+		s.nextSeq = seqFloor
+	}
+	s.stats.ScanMounts++
+	return s, nil
+}
+
+// pageInfo pairs a page with its header sequence for replay ordering.
+type pageInfo struct {
+	page int
+	seq  uint32
+}
+
+// scanMount rebuilds the store state by reading and replaying every data
+// page. It assumes zeroed page accounting (a fresh Store or resetMountState).
+func (s *Store) scanMount() error {
 	var used []pageInfo
 	buf := make([]byte, s.ps)
 	for p := 0; p < s.np; p++ {
 		if err := s.b.Read(s.pageBase(p), buf); err != nil {
-			return nil, err
+			return err
 		}
 		seq, state := parsePageHeader(buf, &s.stats)
 		s.pageSeq[p] = seq
@@ -188,7 +265,7 @@ func OpenOn(b Backend, opts ...Option) (*Store, error) {
 	sort.Slice(used, func(i, j int) bool { return used[i].seq < used[j].seq })
 	for _, pi := range used {
 		if err := s.b.Read(s.pageBase(pi.page), buf); err != nil {
-			return nil, err
+			return err
 		}
 		s.replayPage(pi.page, pi.seq, buf)
 	}
@@ -199,7 +276,21 @@ func OpenOn(b Backend, opts ...Option) (*Store, error) {
 			s.head = last.page
 		}
 	}
-	return s, nil
+	return nil
+}
+
+// resetMountState discards everything a rejected checkpoint mount may have
+// half-built, so scanMount starts from a clean slate.
+func (s *Store) resetMountState() {
+	s.index = make(map[string]location)
+	for p := 0; p < s.np; p++ {
+		s.pageSeq[p] = 0
+		s.pageUsed[p] = 0
+		s.pageLive[p] = 0
+		s.pageBad[p] = false
+	}
+	s.head = -1
+	s.nextSeq = 0
 }
 
 // Page header states.
@@ -237,8 +328,16 @@ func (s *Store) pageBase(p int) int { return p * s.ps }
 
 // replayPage parses the records of one page into the index.
 func (s *Store) replayPage(page int, seq uint32, buf []byte) {
+	s.replayPageFrom(page, seq, buf, pageHeaderSize)
+}
+
+// replayPageFrom parses the records of one page into the index starting at
+// byte offset start — pageHeaderSize for a full replay, or the used-bytes
+// watermark a checkpoint recorded for the page, so only the tail appended
+// since the checkpoint is parsed.
+func (s *Store) replayPageFrom(page int, seq uint32, buf []byte, start int) {
 	ps := len(buf)
-	off := pageHeaderSize
+	off := start
 	for off+recHeaderSize+crcSize <= ps {
 		size, ok := s.checkRecord(buf, off)
 		if !ok {
@@ -405,6 +504,37 @@ func (s *Store) Len() int { return len(s.Keys()) }
 // Compactions returns how many GC passes have run.
 func (s *Store) Compactions() uint64 { return s.stats.Compactions }
 
+// DataPages returns the number of pages available to the log — the whole
+// backend, minus the checkpoint region when one is configured.
+func (s *Store) DataPages() int { return s.np }
+
+// Usage returns the store's live record bytes and the bytes consumed on
+// in-use pages (page headers included; quarantined pages count as fully
+// consumed — they are capacity lost until reclaimed).
+func (s *Store) Usage() (liveBytes, usedBytes int) {
+	for p := 0; p < s.np; p++ {
+		if s.pageSeq[p] == freeSeq {
+			if s.pageBad[p] {
+				usedBytes += s.ps
+			}
+			continue
+		}
+		usedBytes += s.pageUsed[p]
+		liveBytes += s.pageLive[p]
+	}
+	return liveBytes, usedBytes
+}
+
+// SpaceAmplification is the ratio of physical bytes consumed to live
+// record bytes — 1.0 is a perfectly packed log. An empty store reports 1.
+func (s *Store) SpaceAmplification() float64 {
+	live, used := s.Usage()
+	if live == 0 {
+		return 1
+	}
+	return float64(used) / float64(live)
+}
+
 // Stats returns the store's resilience counters.
 func (s *Store) Stats() Stats { return s.stats }
 
@@ -448,7 +578,15 @@ func (s *Store) append(key string, val []byte, flags byte) error {
 		}
 		err = s.commit(key, page, off, rec, flags)
 		if err == nil {
-			return nil
+			if s.inGC {
+				return nil
+			}
+			// Post-commit maintenance: the record is durable, so a crash in
+			// here settles the in-flight operation to its new value.
+			if err := s.maybeCompact(); err != nil {
+				return err
+			}
+			return s.maybeCheckpoint()
 		}
 		if !errors.Is(err, errVerifyMismatch) {
 			return err
@@ -517,13 +655,27 @@ func (s *Store) freePages() []int {
 }
 
 // reclaimQuarantined erases quarantined pages back into the free pool. A
-// page whose erase fails (worn out, or interrupted) stays quarantined.
+// page whose erase fails (worn out, or interrupted) stays quarantined — and
+// so does one whose erase *claims* success while cells stay stuck at 0: a
+// worn page's marginal cells can survive the erase pulse silently, and
+// returning such a page to the pool would let a fresh header land over
+// residue of the quarantined content, serving stale bytes to replay. Every
+// reclaim therefore ends with an erase-verify pass; only an all-0xFF page
+// rejoins the pool.
 func (s *Store) reclaimQuarantined() {
+	var buf []byte
 	for p := range s.pageBad {
 		if !s.pageBad[p] {
 			continue
 		}
 		if err := s.b.ErasePage(p); err != nil {
+			continue
+		}
+		if buf == nil {
+			buf = make([]byte, s.ps)
+		}
+		if err := s.b.Read(s.pageBase(p), buf); err != nil || !allFF(buf) {
+			s.stats.ReclaimRejected++
 			continue
 		}
 		s.pageBad[p] = false
@@ -580,6 +732,7 @@ func (s *Store) openPage(p int) error {
 		s.pageLive[cand] = 0
 		s.nextSeq++
 		s.head = cand
+		s.compactDue = true
 		return nil
 	}
 	return ErrFull
@@ -672,12 +825,10 @@ func (s *Store) retireTail(page int) {
 	}
 }
 
-// gc erases the page with the least live data after copying its live
-// records to the log head. Crash-safe: copies carry later sequence
-// numbers, so duplicates resolve in their favour at mount.
+// gc is the forced compaction path: append found no space, so the page
+// with the least live data is compacted regardless of its garbage ratio —
+// minimum live bytes is the guaranteed-progress choice.
 func (s *Store) gc() error {
-	s.inGC = true
-	defer func() { s.inGC = false }()
 	victim, best := -1, 1<<30
 	for p := range s.pageSeq {
 		if s.pageSeq[p] == freeSeq || p == s.head {
@@ -690,6 +841,15 @@ func (s *Store) gc() error {
 	if victim < 0 {
 		return ErrFull
 	}
+	return s.compactPage(victim)
+}
+
+// compactPage erases one victim page after copying its live records to the
+// log head. Crash-safe: copies carry later sequence numbers, so duplicates
+// resolve in their favour at mount.
+func (s *Store) compactPage(victim int) error {
+	s.inGC = true
+	defer func() { s.inGC = false }()
 	// Copy the victim's must-preserve records (live values AND
 	// tombstones) to the log head; copies carry later sequence numbers,
 	// so a crash between copy and erase resolves in their favour.

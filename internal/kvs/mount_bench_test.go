@@ -1,0 +1,59 @@
+package kvs
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/flipbit-sim/flipbit/internal/core"
+	"github.com/flipbit-sim/flipbit/internal/flash"
+)
+
+// benchMountDevice builds a populated, checkpointed store image once per
+// benchmark: 100 keys written three times each (so GC has run and the log
+// carries garbage), then a final checkpoint.
+func benchMountDevice(b *testing.B) *core.Device {
+	b.Helper()
+	spec := flash.DefaultSpec()
+	spec.PageSize = 1024
+	spec.NumPages = 256
+	dev := core.MustNewDevice(spec)
+	s, err := Open(dev,
+		WithCheckpoint(CheckpointConfig{SlotPages: 8}),
+		WithCompaction(CompactionConfig{}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 64)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			val[0] = byte(round)
+			if err := s.Put(fmt.Sprintf("key%04d", i), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	return dev
+}
+
+func benchMount(b *testing.B, scanOnly bool) {
+	dev := benchMountDevice(b)
+	s, err := Open(dev, WithCheckpoint(CheckpointConfig{SlotPages: 8, ScanOnly: scanOnly}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !scanOnly && s.Stats().CheckpointMounts != 1 {
+		b.Fatalf("mount stats = %+v, want checkpoint mount", s.Stats())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Open(dev, WithCheckpoint(CheckpointConfig{SlotPages: 8, ScanOnly: scanOnly})); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMountFullScan(b *testing.B)     { benchMount(b, true) }
+func BenchmarkMountCheckpointed(b *testing.B) { benchMount(b, false) }
