@@ -23,6 +23,7 @@ import (
 
 	"github.com/flipbit-sim/flipbit/internal/bench"
 	"github.com/flipbit-sim/flipbit/internal/faultcampaign"
+	"github.com/flipbit-sim/flipbit/internal/flash"
 )
 
 // Flags live on their own FlagSet (not flag.CommandLine) so the usage
@@ -31,12 +32,13 @@ var (
 	flags      = flag.NewFlagSet("flipbit", flag.ExitOnError)
 	quick      = flags.Bool("quick", false, "trim workloads for a fast run (shapes preserved)")
 	csvDir     = flags.String("csv", "", "also write each table as <dir>/<id>.csv")
-	benchJSON  = flags.String("benchjson", "", "write the writepath JSON report to this path, plus BENCH_crashcampaign.json, BENCH_lifetime.json, BENCH_encode.json and BENCH_kvscale.json next to it")
+	benchJSON  = flags.String("benchjson", "", "write the writepath JSON report to this path, plus BENCH_crashcampaign.json, BENCH_transient.json, BENCH_lifetime.json, BENCH_encode.json and BENCH_kvscale.json next to it")
 	faults     = flags.Bool("faults", false, "run a fault-injection campaign against the key-value store and print its outcome")
 	seed       = flags.Uint64("seed", 1, "campaign seed for -faults (same seed replays byte-identically)")
 	cycles     = flags.Int("cycles", 1000, "crash/reboot cycles for -faults")
 	onFTL      = flags.Bool("ftl", false, "run the -faults campaign through the journaled FTL with read-back verification")
 	scrub      = flags.Bool("scrub", false, "arm the background scrubber (and a 2-page spare pool with -ftl) during the -faults campaign")
+	retry      = flags.Int("retry", 0, "arm transient program/erase verify failures in the -faults mix, absorbed by a verify-retry budget of this many re-issues")
 	lifetime   = flags.Bool("lifetime", false, "run the endurance lifetime experiment and print writes-to-first-data-loss per configuration")
 	cpuProfile = flags.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with 'go tool pprof')")
 	memProfile = flags.String("memprofile", "", "write a heap profile taken at exit to this file")
@@ -95,7 +97,7 @@ func run() int {
 		}
 	}
 	if *faults {
-		if err := runFaults(*seed, *cycles, *onFTL, *scrub); err != nil {
+		if err := runFaults(*seed, *cycles, *onFTL, *scrub, *retry); err != nil {
 			fmt.Fprintf(os.Stderr, "flipbit: faults: %v\n", err)
 			return 1
 		}
@@ -176,6 +178,16 @@ func writeBenchJSON(path string, cfg bench.Config) error {
 	}
 	fmt.Printf("wrote %s\n", ccPath)
 
+	tr, err := bench.RunTransient(cfg)
+	if err != nil {
+		return err
+	}
+	trPath := filepath.Join(filepath.Dir(path), "BENCH_transient.json")
+	if err := writeJSONFile(trPath, tr.WriteJSON); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", trPath)
+
 	lt, err := bench.RunLifetime(cfg)
 	if err != nil {
 		return err
@@ -232,10 +244,19 @@ func writeJSONFile(path string, render func(io.Writer) error) error {
 // runFaults runs one seeded campaign and prints a human-readable summary.
 // A non-zero violation count is a hard failure: it means a committed key
 // was lost or settled to a torn value after a crash.
-func runFaults(seed uint64, cycles int, onFTL, scrub bool) error {
+func runFaults(seed uint64, cycles int, onFTL, scrub bool, retry int) error {
 	cfg := faultcampaign.Config{Seed: seed, Cycles: cycles, UseFTL: onFTL, Verify: onFTL, Scrub: scrub}
 	if scrub && onFTL {
 		cfg.Spares = 2
+	}
+	if retry > 0 {
+		// Transient verify failures join the mix, with incidents bounded by
+		// the budget (MaxRetries <= retry) so every one recovers in place.
+		cfg.Retry = retry
+		cfg.Mix = flash.FaultMix{
+			PowerLoss: 4, TransientProgram: 3, TransientErase: 1,
+			MinGap: 0, MaxGap: 250, MaxRetries: retry,
+		}
 	}
 	start := time.Now()
 	res, err := faultcampaign.Run(cfg)
@@ -261,6 +282,11 @@ func runFaults(seed uint64, cycles int, onFTL, scrub bool) error {
 	if scrub {
 		fmt.Printf("  scrubber             %d sampled, %d absorbed, %d refreshed, %d retired\n",
 			res.ScrubSampled, res.ScrubAbsorbed, res.ScrubRefreshed, res.ScrubRetired)
+	}
+	if retry > 0 {
+		fmt.Printf("  verify-retry         %d re-issues saved %d writes, %d pages retired on exhaustion (armed: %d program, %d erase)\n",
+			res.RetryAttempts, res.RetrySaves, res.RetryRetired,
+			res.TransientProgramArmed, res.TransientEraseArmed)
 	}
 	fmt.Printf("  fingerprint          %016x (replays byte-identically from the seed)\n", res.Fingerprint)
 	if res.ViolationCount != 0 {
@@ -308,6 +334,7 @@ Regenerates the paper's tables and figures. Examples:
   flipbit -faults -seed 7 -cycles 2000        # crash/reboot campaign, raw flash
   flipbit -faults -ftl                        # same through the journaled FTL
   flipbit -faults -ftl -scrub                 # same with the scrubber armed
+  flipbit -faults -retry 3                    # with transient verify failures + retry
   flipbit -lifetime                           # writes-to-first-data-loss comparison
   flipbit -benchjson BENCH_writepath.json     # machine-readable bench artifacts
   flipbit -cpuprofile cpu.pprof -quick all    # profile the run for go tool pprof

@@ -138,6 +138,7 @@ func Registry() []Experiment {
 		{"writepath", "bank-sharded commit throughput, serial vs concurrent", ExpWritePath},
 		{"encodekernel", "batch encode kernels vs scalar per-value encoding", ExpEncodeKernel},
 		{"crashcampaign", "fault-injection campaign: crash/reboot survival and recovery cost", ExpCrashCampaign},
+		{"transient", "transient-fault campaign: verify-retry-retire and retention repair", ExpTransient},
 		{"lifetime", "writes to first data loss: unmanaged vs endurance-managed", ExpLifetime},
 		{"kvscale", "store at scale: GC under load, space amplification, O(tail) mount", ExpKVScale},
 	}

@@ -19,6 +19,7 @@ import (
 var artifactSchemas = map[string]func(doc map[string]any) error{
 	"writepath":     validateWritePath,
 	"crashcampaign": validateCrashCampaign,
+	"transient":     validateTransient,
 	"lifetime":      validateLifetime,
 	"encode":        validateEncode,
 	"kvscale":       validateKVScale,
@@ -27,7 +28,7 @@ var artifactSchemas = map[string]func(doc map[string]any) error{
 // ArtifactKinds lists every artifact stem a repo checkout is expected to
 // carry, in a stable order.
 func ArtifactKinds() []string {
-	return []string{"writepath", "crashcampaign", "lifetime", "encode", "kvscale"}
+	return []string{"writepath", "crashcampaign", "transient", "lifetime", "encode", "kvscale"}
 }
 
 // ValidateArtifact parses data as the named artifact kind (a stem from
@@ -292,6 +293,101 @@ func validateCrashCampaign(doc map[string]any) error {
 	if syncFP, ok := fps["kvs/mixed"]; ok {
 		if asyncFP, ok := fps["kvs/mixed+async"]; ok && asyncFP != syncFP {
 			return fmt.Errorf("kvs/mixed+async fingerprint %v != kvs/mixed %v; async pipeline perturbed the campaign", asyncFP, syncFP)
+		}
+	}
+	return nil
+}
+
+func validateTransient(doc map[string]any) error {
+	if _, err := num(doc, "seed"); err != nil {
+		return err
+	}
+	rs, err := rows(doc)
+	if err != nil {
+		return err
+	}
+	if err := requireNums(rs, "cycles", "crashes", "faults_fired", "violation_count",
+		"fingerprint", "recovery_rate"); err != nil {
+		return err
+	}
+	fps := map[string]float64{}
+	sawExhaust := false
+	for i, r := range rs {
+		scenario, ok := r["scenario"].(string)
+		if !ok {
+			return fmt.Errorf("rows[%d]: missing scenario name", i)
+		}
+		if v, _ := num(r, "violation_count"); v != 0 {
+			return fmt.Errorf("rows[%d] (%s): %v recovery-invariant violations", i, scenario, v)
+		}
+		if c, _ := num(r, "crashes"); c == 0 {
+			return fmt.Errorf("rows[%d] (%s): campaign never crashed", i, scenario)
+		}
+		fp, _ := num(r, "fingerprint")
+		if fp == 0 {
+			return fmt.Errorf("rows[%d] (%s): zero fingerprint", i, scenario)
+		}
+		fps[scenario] = fp
+		// Every scenario must actually inject transients and save writes.
+		for _, f := range []string{"transient_program_armed", "retry_saves"} {
+			v, err := num(r, f)
+			if err != nil {
+				return fmt.Errorf("rows[%d] (%s): %w", i, scenario, err)
+			}
+			if v == 0 {
+				return fmt.Errorf("rows[%d] (%s): %s is 0; campaign never stressed it", i, scenario, f)
+			}
+		}
+		if scenario == "kvs/transient-exhaust" {
+			sawExhaust = true
+			// Invariant: the under-budgeted scenario exercises retirement.
+			v, err := num(r, "retry_retired")
+			if err != nil {
+				return fmt.Errorf("rows[%d] (%s): %w", i, scenario, err)
+			}
+			if v == 0 {
+				return fmt.Errorf("rows[%d] (%s): no incident exhausted the retry budget", i, scenario)
+			}
+		} else {
+			// Invariant: the retry policy recovers at least 90% of injected
+			// transient failures without retiring a page.
+			if rate, _ := num(r, "recovery_rate"); rate < 0.9 {
+				return fmt.Errorf("rows[%d] (%s): recovery rate %.2f, want >= 0.9", i, scenario, rate)
+			}
+		}
+		// Retention rows must age cells and exercise the hardened read path.
+		if scenario == "kvs/transient+retention" || scenario == "kvs/transient+retention+async" {
+			for _, f := range []string{"retention_aged", "sense_retries"} {
+				v, err := num(r, f)
+				if err != nil {
+					return fmt.Errorf("rows[%d] (%s): %w", i, scenario, err)
+				}
+				if v == 0 {
+					return fmt.Errorf("rows[%d] (%s): %s is 0; campaign never stressed it", i, scenario, f)
+				}
+			}
+		}
+	}
+	if !sawExhaust {
+		return fmt.Errorf("missing the kvs/transient-exhaust scenario row")
+	}
+	// Invariant: retry backoffs and retention aging are charged per bank in
+	// issue order, so the async pipeline replays each sync twin byte for byte.
+	for _, pair := range [][2]string{
+		{"kvs/transient", "kvs/transient+async"},
+		{"kvs/transient+retention", "kvs/transient+retention+async"},
+	} {
+		syncFP, ok := fps[pair[0]]
+		if !ok {
+			return fmt.Errorf("missing the %s scenario row", pair[0])
+		}
+		asyncFP, ok := fps[pair[1]]
+		if !ok {
+			return fmt.Errorf("missing the %s scenario row", pair[1])
+		}
+		if syncFP != asyncFP {
+			return fmt.Errorf("%s fingerprint %v != %s %v; async pipeline perturbed the campaign",
+				pair[1], asyncFP, pair[0], syncFP)
 		}
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/flipbit-sim/flipbit/internal/approx"
 	"github.com/flipbit-sim/flipbit/internal/bits"
@@ -66,6 +67,11 @@ type Stats struct {
 	// Health-gate accounting (zero unless WithHealthGate is configured).
 	PagesDegraded uint64 // approximate commits routed onto degraded pages
 	ExactRefused  uint64 // commits refused with ErrExactDegraded
+
+	// Verify-retry accounting (zero unless WithRetry is configured).
+	RetryAttempts uint64 // re-issued programs/erases after a transient verify failure
+	RetrySaves    uint64 // operations that succeeded after at least one retry
+	RetryRetired  uint64 // pages retired after exhausting the retry budget
 }
 
 // MAE returns the mean absolute error introduced across all checked values.
@@ -85,6 +91,9 @@ func (s *Stats) add(o Stats) {
 	s.ErrorSum += o.ErrorSum
 	s.PagesDegraded += o.PagesDegraded
 	s.ExactRefused += o.ExactRefused
+	s.RetryAttempts += o.RetryAttempts
+	s.RetrySaves += o.RetrySaves
+	s.RetryRetired += o.RetryRetired
 }
 
 // Device is a flash chip with the FlipBit controller attached. All writes
@@ -129,6 +138,14 @@ type Device struct {
 	// data is refused on degraded pages with ErrExactDegraded while
 	// approximate data keeps flowing onto them.
 	healthGate bool
+
+	// retryMax/retryBackoff parameterise the verify-retry policy
+	// (WithRetry): programs and erases that fail with flash.ErrTransient
+	// are re-issued up to retryMax times with a linearly growing backoff
+	// charged to the device-time ledger; exhausting the budget retires
+	// the page instead of failing the write.
+	retryMax     int
+	retryBackoff time.Duration
 
 	// scrubber is the background scrubber built by WithScrubber (scrub.go);
 	// nil unless configured. It is constructed stopped — call Start.
@@ -198,6 +215,21 @@ func WithFaultSchedule(s flash.FaultSchedule) Option {
 // destroyed by a doomed rewrite. Off by default, preserving the classic
 // best-effort ErrWornOut behaviour.
 func WithHealthGate() Option { return func(d *Device) { d.healthGate = true } }
+
+// WithRetry installs the verify-retry policy on the commit and erase paths:
+// a program or erase whose verify fails transiently (flash.ErrTransient) is
+// re-issued up to max times, waiting backoff × attempt between issues (the
+// wait is charged to the flash busy-time ledger via ChargeWait, so retries
+// cost device time deterministically). A page that exhausts the budget is
+// handed to the retire machinery — the page is fenced and the caller sees
+// ErrExactDegraded, which the FTL and the KVS already route around by
+// placing the data elsewhere — instead of failing the write outright.
+func WithRetry(max int, backoff time.Duration) Option {
+	return func(d *Device) {
+		d.retryMax = max
+		d.retryBackoff = backoff
+	}
+}
 
 // WithScrubber builds a background scrubber (scrub.go) over the device at
 // construction. The scrubber is returned by Device.Scrubber and starts
@@ -424,6 +456,17 @@ func (d *Device) Read(addr int, dst []byte) error {
 	return d.fl.Read(addr, dst)
 }
 
+// SensePage performs a slow margin-aware controller sense of physical page
+// p (dst must be one page): the read reference is shifted away from the
+// threshold boundary, so marginal retention cells resolve to their stored
+// value instead of flickering like they do on fast host reads. The
+// hardened read path falls back to it when fast re-reads cannot settle a
+// checksum, leaving only persistent damage for the single-bit repair to
+// judge. Charged like any other full-page read.
+func (d *Device) SensePage(p int, dst []byte) error {
+	return d.fl.ReadPage(p, dst)
+}
+
 // Write stores data at addr through the FlipBit commit pipeline, splitting
 // the access into page-sized sessions. Pages inside the approximatable
 // region may be written approximately; all other pages are written exactly
@@ -541,7 +584,7 @@ func (d *Device) finishLocked(bank int, s *session, enc encodeResult, encoded bo
 			d.shards[bank].ExactRefused++
 			return fmt.Errorf("page %d: %w", page, ErrExactDegraded)
 		}
-		return s.programExact()
+		return d.retryOp(bank, page, s.programExact)
 	}
 
 	// Stage 3: encode the approximation candidate (unless group commit
@@ -562,7 +605,7 @@ func (d *Device) finishLocked(bank int, s *session, enc encodeResult, encoded bo
 			return fmt.Errorf("page %d: %w", page, ErrExactDegraded)
 		}
 		d.shards[bank].PagesExact++
-		return s.eraseProgramExact()
+		return d.retryOp(bank, page, s.eraseProgramExact)
 	}
 
 	// Stage 5: approximate commit — programs only, no erase possible by
@@ -576,7 +619,54 @@ func (d *Device) finishLocked(bank int, s *session, enc encodeResult, encoded bo
 	if degraded {
 		sh.PagesDegraded++
 	}
-	return s.programApprox()
+	return d.retryOp(bank, page, s.programApprox)
+}
+
+// retryOp runs one flash-committing operation under the verify-retry policy
+// (WithRetry). A transient verify failure is re-issued up to retryMax times
+// with a linearly growing backoff charged to the device-time ledger; state
+// after a transient failure is recoverable by construction (every bit that
+// moved, moved toward the target), so a re-issue picks up where the failed
+// pulse stopped. A page that exhausts the budget is retired and the caller
+// sees ErrExactDegraded — the signal the FTL's spare-pool remap and the
+// KVS's tail-retirement already treat as "place this data elsewhere" — so
+// the write as a whole still succeeds. Called with the page's bank commit
+// lock held (the retry stats live in that bank's shard).
+func (d *Device) retryOp(bank, page int, op func() error) error {
+	err := op()
+	if err == nil || d.retryMax <= 0 || !errors.Is(err, flash.ErrTransient) {
+		return err
+	}
+	sh := &d.shards[bank]
+	for attempt := 1; attempt <= d.retryMax; attempt++ {
+		sh.RetryAttempts++
+		d.fl.ChargeWait(bank, d.retryBackoff*time.Duration(attempt))
+		err = op()
+		if err == nil {
+			sh.RetrySaves++
+			return nil
+		}
+		if !errors.Is(err, flash.ErrTransient) {
+			return err
+		}
+	}
+	sh.RetryRetired++
+	if rerr := d.fl.Retire(page); rerr != nil {
+		return errors.Join(err, rerr)
+	}
+	return fmt.Errorf("page %d: retry budget exhausted (%v): %w", page, err, ErrExactDegraded)
+}
+
+// ErasePage erases page p through the verify-retry policy. Management
+// layers (the FTL's garbage collector, the KVS's compaction and reclaim
+// paths) route their erases here instead of hitting the flash device
+// directly, so a transiently failing erase is retried with backoff and an
+// exhausted page is retired rather than silently left half-erased.
+func (d *Device) ErasePage(p int) error {
+	bank := d.fl.BankOf(p)
+	d.commitMu[bank].Lock()
+	defer d.commitMu[bank].Unlock()
+	return d.retryOp(bank, p, func() error { return d.fl.ErasePage(p) })
 }
 
 // load reads the page into the previous buffer and mirrors it into the

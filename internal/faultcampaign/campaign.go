@@ -38,7 +38,21 @@ type Config struct {
 	// Mix weights the fault kinds and their gaps (default: power loss
 	// heavy with occasional wear faults). Read-disturb faults are always
 	// narrowed to a single bit: that is the store's repair guarantee.
+	// Transient weights (TransientProgram, TransientErase) require Retry
+	// > 0 — without a retry policy a verify failure surfaces as a write
+	// error the store was never meant to absorb.
 	Mix flash.FaultMix
+
+	// Retry > 0 arms the core verify-retry policy (core.WithRetry) with
+	// the given re-issue budget; transient faults whose incident outlasts
+	// the budget retire the page instead of failing the write.
+	Retry int
+
+	// RetentionEvery > 0 applies retention aging at every reboot: one
+	// cell-leak event per RetentionEvery of device busy time accumulated
+	// since the last aging step (capped per reboot), modelling charge
+	// leaking while the node was powered down between campaign cycles.
+	RetentionEvery time.Duration
 
 	// Workload shape.
 	MaxOpsPerCycle int     // ops attempted per cycle (default 60)
@@ -100,7 +114,8 @@ func (c Config) withDefaults() Config {
 		c.Spec.NumPages = 24
 		c.Spec.Banks = 1
 	}
-	if c.Mix.PowerLoss+c.Mix.StuckBits+c.Mix.ReadDisturb <= 0 {
+	if c.Mix.PowerLoss+c.Mix.StuckBits+c.Mix.ReadDisturb+
+		c.Mix.TransientProgram+c.Mix.TransientErase+c.Mix.Retention <= 0 {
 		c.Mix = flash.FaultMix{
 			PowerLoss: 8, StuckBits: 1, ReadDisturb: 1,
 			MinGap: 0, MaxGap: 300, MaxBits: 2,
@@ -133,11 +148,31 @@ type Result struct {
 	Crashes               int `json:"crashes"`                 // cycles ended by a power loss
 	CrashesDuringRecovery int `json:"crashes_during_recovery"` // power loss injected into a remount
 
-	PowerLossArmed   int `json:"power_loss_armed"`
-	StuckBitsArmed   int `json:"stuck_bits_armed"`
-	ReadDisturbArmed int `json:"read_disturb_armed"`
+	PowerLossArmed        int `json:"power_loss_armed"`
+	StuckBitsArmed        int `json:"stuck_bits_armed"`
+	ReadDisturbArmed      int `json:"read_disturb_armed"`
+	TransientProgramArmed int `json:"transient_program_armed,omitempty"`
+	TransientEraseArmed   int `json:"transient_erase_armed,omitempty"`
+	RetentionArmed        int `json:"retention_armed,omitempty"`
 
 	FaultsFired uint64 `json:"faults_fired"`
+
+	// Verify-retry outcomes (with Config.Retry): re-issues, writes the
+	// retry saved from failing, and pages retired on budget exhaustion.
+	RetryAttempts uint64 `json:"retry_attempts,omitempty"`
+	RetrySaves    uint64 `json:"retry_saves,omitempty"`
+	RetryRetired  uint64 `json:"retry_retired,omitempty"`
+	ProgramFails  uint64 `json:"program_fails,omitempty"`
+	EraseFails    uint64 `json:"erase_fails,omitempty"`
+
+	// Retention-drift outcomes: cells aged marginal at reboots, read-path
+	// re-senses, and the scrubber's absorb/recharge decisions.
+	RetentionAged           uint64 `json:"retention_aged,omitempty"`
+	SenseRetries            uint64 `json:"sense_retries,omitempty"`
+	SenseRecovered          uint64 `json:"sense_recovered,omitempty"`
+	MarginSenses            uint64 `json:"margin_senses,omitempty"`
+	ScrubRetentionAbsorbed  uint64 `json:"scrub_retention_absorbed,omitempty"`
+	ScrubRetentionRefreshed uint64 `json:"scrub_retention_refreshed,omitempty"`
 
 	Violations     []string `json:"violations,omitempty"` // capped detail strings
 	ViolationCount int      `json:"violation_count"`
@@ -210,14 +245,28 @@ type campaign struct {
 	model   map[string][]byte // acked key → value
 	pending pendingOp
 
+	// agedBusy is the device busy-time watermark of the last retention
+	// aging step (Config.RetentionEvery).
+	agedBusy time.Duration
+
 	res  Result
 	fp   uint64 // FNV-1a running fingerprint
 	keys []string
 }
 
+// retryBackoff is the base backoff the campaign's retry policy charges per
+// re-issue; fixed so fingerprints depend only on Config.
+const retryBackoff = 10 * time.Microsecond
+
 // Run executes the campaign described by cfg.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Mix.Validate(); err != nil {
+		return nil, fmt.Errorf("faultcampaign: %w", err)
+	}
+	if cfg.Mix.TransientProgram+cfg.Mix.TransientErase > 0 && cfg.Retry <= 0 {
+		return nil, fmt.Errorf("faultcampaign: transient fault weights require Retry > 0")
+	}
 	c := &campaign{
 		cfg:   cfg,
 		rng:   xrand.New(cfg.Seed),
@@ -230,6 +279,9 @@ func Run(cfg Config) (*Result, error) {
 	var opts []core.Option
 	if cfg.AsyncCommit > 0 {
 		opts = append(opts, core.WithAsyncCommit(cfg.AsyncCommit))
+	}
+	if cfg.Retry > 0 {
+		opts = append(opts, core.WithRetry(cfg.Retry, retryBackoff))
 	}
 	c.dev = core.MustNewDevice(cfg.Spec, opts...)
 	defer c.dev.Close()
@@ -308,12 +360,14 @@ func (c *campaign) rebuildScrubber() {
 // addScrubStats sums two scrub-stat snapshots.
 func addScrubStats(a, b core.ScrubStats) core.ScrubStats {
 	return core.ScrubStats{
-		Sampled:   a.Sampled + b.Sampled,
-		Clean:     a.Clean + b.Clean,
-		Absorbed:  a.Absorbed + b.Absorbed,
-		Refreshed: a.Refreshed + b.Refreshed,
-		Retired:   a.Retired + b.Retired,
-		Errors:    a.Errors + b.Errors,
+		Sampled:            a.Sampled + b.Sampled,
+		Clean:              a.Clean + b.Clean,
+		Absorbed:           a.Absorbed + b.Absorbed,
+		Refreshed:          a.Refreshed + b.Refreshed,
+		Retired:            a.Retired + b.Retired,
+		Errors:             a.Errors + b.Errors,
+		RetentionAbsorbed:  a.RetentionAbsorbed + b.RetentionAbsorbed,
+		RetentionRefreshed: a.RetentionRefreshed + b.RetentionRefreshed,
 	}
 }
 
@@ -324,6 +378,9 @@ func (c *campaign) foldStoreStats(st kvs.Stats) {
 	c.kvsTotals.CheckpointFailures += st.CheckpointFailures
 	c.kvsTotals.CheckpointMounts += st.CheckpointMounts
 	c.kvsTotals.ScanMounts += st.ScanMounts
+	c.kvsTotals.SenseRetries += st.SenseRetries
+	c.kvsTotals.SenseRecovered += st.SenseRecovered
+	c.kvsTotals.MarginSenses += st.MarginSenses
 }
 
 // openStore mounts the kvs layer on the chosen backend.
@@ -359,16 +416,19 @@ func (a asyncBackend) Read(addr int, dst []byte) error { return a.dev.Read(addr,
 func (a asyncBackend) Write(addr int, data []byte) error {
 	return a.dev.WriteAsync(addr, data).Wait()
 }
-func (a asyncBackend) ErasePage(p int) error { return a.dev.Flash().ErasePage(p) }
-func (a asyncBackend) PageSize() int         { return a.dev.Flash().Spec().PageSize }
-func (a asyncBackend) NumPages() int         { return a.dev.Flash().Spec().NumPages }
+func (a asyncBackend) ErasePage(p int) error { return a.dev.ErasePage(p) }
+func (a asyncBackend) SensePage(p int, dst []byte) error {
+	return a.dev.SensePage(p, dst)
+}
+func (a asyncBackend) PageSize() int { return a.dev.Flash().Spec().PageSize }
+func (a asyncBackend) NumPages() int { return a.dev.Flash().Spec().NumPages }
 
 // runCycle arms one fault, drives workload until it fires (or the op budget
 // runs out), and — if power was lost — reboots and checks every invariant.
 func (c *campaign) runCycle(cycle int) {
 	f := c.drawFault()
 	c.fl.ArmFault(f)
-	c.mix(uint64(f.Kind), uint64(f.After), uint64(f.Bits))
+	c.mix(uint64(f.Kind), uint64(f.After), uint64(f.Bits), uint64(f.Retries))
 
 	if c.scr != nil {
 		// One synchronous scrub pass with the fault armed: a power loss
@@ -379,6 +439,7 @@ func (c *campaign) runCycle(cycle int) {
 		}
 		st := addScrubStats(c.scrubTotals, c.scr.Stats())
 		c.mix(st.Sampled, st.Absorbed, st.Refreshed, st.Retired, st.Errors)
+		c.mix(st.RetentionAbsorbed, st.RetentionRefreshed)
 	}
 
 	crashed := false
@@ -406,10 +467,13 @@ func (c *campaign) runCycle(cycle int) {
 
 // drawFault picks the next fault of the campaign's schedule. Read-disturb
 // is narrowed to one bit — the single-bit repair guarantee; wider drifts
-// would need a real ECC.
+// would need a real ECC. The draw mirrors flash.RandomSchedule.Next: extra
+// draws (bits, retries) only happen for the kinds that use them, so legacy
+// mixes reproduce their historical streams.
 func (c *campaign) drawFault() flash.Fault {
 	m := c.cfg.Mix
-	total := m.PowerLoss + m.StuckBits + m.ReadDisturb
+	total := m.PowerLoss + m.StuckBits + m.ReadDisturb +
+		m.TransientProgram + m.TransientErase + m.Retention
 	pick := c.rng.Intn(total)
 	kind := flash.FaultPowerLoss
 	switch {
@@ -419,9 +483,18 @@ func (c *campaign) drawFault() flash.Fault {
 	case pick < m.PowerLoss+m.StuckBits:
 		kind = flash.FaultStuckBits
 		c.res.StuckBitsArmed++
-	default:
+	case pick < m.PowerLoss+m.StuckBits+m.ReadDisturb:
 		kind = flash.FaultReadDisturb
 		c.res.ReadDisturbArmed++
+	case pick < m.PowerLoss+m.StuckBits+m.ReadDisturb+m.TransientProgram:
+		kind = flash.FaultTransientProgram
+		c.res.TransientProgramArmed++
+	case pick < m.PowerLoss+m.StuckBits+m.ReadDisturb+m.TransientProgram+m.TransientErase:
+		kind = flash.FaultTransientErase
+		c.res.TransientEraseArmed++
+	default:
+		kind = flash.FaultRetention
+		c.res.RetentionArmed++
 	}
 	gap := m.MinGap
 	if m.MaxGap > m.MinGap {
@@ -431,7 +504,14 @@ func (c *campaign) drawFault() flash.Fault {
 	if kind == flash.FaultStuckBits && m.MaxBits > 1 {
 		bits += c.rng.Intn(m.MaxBits)
 	}
-	return flash.Fault{Kind: kind, After: gap, Bits: bits}
+	f := flash.Fault{Kind: kind, After: gap, Bits: bits}
+	if kind == flash.FaultTransientProgram || kind == flash.FaultTransientErase {
+		f.Retries = 1
+		if m.MaxRetries > 1 {
+			f.Retries += c.rng.Intn(m.MaxRetries)
+		}
+	}
+	return f
 }
 
 // driveOp performs one workload operation, returning true on power loss.
@@ -476,10 +556,37 @@ func (c *campaign) driveOp(cycle int) bool {
 	return false
 }
 
-// reboot clears faults, optionally injects a power loss into the recovery
-// itself, remounts the stack and verifies every invariant.
+// maxAgingPerReboot bounds the cell-leak events one reboot applies, so a
+// long-lived campaign with a tight RetentionEvery stays O(1) per reboot.
+const maxAgingPerReboot = 64
+
+// ageRetention applies the retention aging a reboot owes: one cell-leak
+// event per RetentionEvery of busy time accumulated since the last step —
+// charge leaks in real time, and the reboot is when the node was dark.
+func (c *campaign) ageRetention() {
+	if c.cfg.RetentionEvery <= 0 {
+		return
+	}
+	busy := c.fl.Stats().Busy
+	n := int((busy - c.agedBusy) / c.cfg.RetentionEvery)
+	if n > maxAgingPerReboot {
+		n = maxAgingPerReboot
+	}
+	c.agedBusy = busy
+	if n <= 0 {
+		return
+	}
+	marked := c.fl.AgeRetention(n)
+	c.res.RetentionAged += uint64(marked)
+	c.mix(uint64(n), uint64(marked))
+}
+
+// reboot clears faults, ages retention for the downtime, optionally injects
+// a power loss into the recovery itself, remounts the stack and verifies
+// every invariant.
 func (c *campaign) reboot(cycle int) {
 	c.fl.ClearFaults()
+	c.ageRetention()
 
 	// A remount can itself be interrupted — energy-harvesting nodes
 	// brown out repeatedly. Bounded so the campaign always makes
@@ -614,12 +721,28 @@ func (c *campaign) finish() {
 		c.res.ScrubRefreshed = sst.Refreshed
 		c.res.ScrubRetired = sst.Retired
 		c.res.ScrubErrors = sst.Errors
+		c.res.ScrubRetentionAbsorbed = sst.RetentionAbsorbed
+		c.res.ScrubRetentionRefreshed = sst.RetentionRefreshed
 	}
+	cs := c.dev.Stats()
+	c.res.RetryAttempts = cs.RetryAttempts
+	c.res.RetrySaves = cs.RetrySaves
+	c.res.RetryRetired = cs.RetryRetired
+	flStats := c.fl.Stats()
+	c.res.ProgramFails = flStats.ProgramFails
+	c.res.EraseFails = flStats.EraseFails
+	c.res.SenseRetries = c.kvsTotals.SenseRetries
+	c.res.SenseRecovered = c.kvsTotals.SenseRecovered
+	c.res.MarginSenses = c.kvsTotals.MarginSenses
 	if c.res.Crashes > 0 {
 		c.res.MeanRecoveryBusy = c.res.RecoveryBusy / time.Duration(c.res.Crashes)
 	}
 	c.mix(c.res.FaultsFired, uint64(c.res.Crashes), uint64(c.res.ViolationCount))
 	c.mix(c.res.Compactions, c.res.Checkpoints, c.res.CheckpointMounts, c.res.ScanMounts)
+	c.mix(c.res.RetryAttempts, c.res.RetrySaves, c.res.RetryRetired,
+		c.res.ProgramFails, c.res.EraseFails)
+	c.mix(c.res.RetentionAged, c.res.SenseRetries, c.res.SenseRecovered,
+		c.res.MarginSenses, c.res.ScrubRetentionAbsorbed, c.res.ScrubRetentionRefreshed)
 	c.res.Fingerprint = c.fp
 }
 

@@ -3,6 +3,7 @@ package faultcampaign
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"github.com/flipbit-sim/flipbit/internal/flash"
 )
@@ -222,5 +223,151 @@ func TestCampaignCompactionCheckpointReplay(t *testing.T) {
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same seed diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// transientTestConfig arms the full robustness stack: transient program and
+// erase verify failures absorbed by the core retry budget, retention aging
+// on every reboot, and a scrub pass per cycle absorbing marginal cells in
+// the (fully approximatable) raw store. Retry covers Mix.MaxRetries, so
+// every transient incident recovers without retirement.
+func transientTestConfig(seed uint64, cycles int) Config {
+	return Config{
+		Seed:           seed,
+		Cycles:         cycles,
+		Retry:          3,
+		RetentionEvery: 2 * time.Millisecond,
+		Scrub:          true,
+		Mix: flash.FaultMix{
+			PowerLoss:        4,
+			TransientProgram: 3,
+			TransientErase:   1,
+			Retention:        2,
+			MinGap:           0,
+			MaxGap:           250,
+			MaxRetries:       3,
+		},
+	}
+}
+
+// TestCampaignTransientRetention is the transient+retention acceptance run:
+// 1000 cycles of verify failures, brown-outs, read-time retention marks and
+// power-off aging, with zero recovery-invariant violations. The machinery
+// has to actually fire: retries must save writes (and, with the budget
+// covering every incident, never retire), aging must mark cells, and the
+// hardened read path must re-sense flicker.
+func TestCampaignTransientRetention(t *testing.T) {
+	res, err := Run(transientTestConfig(7, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertClean(t, res)
+	if res.TransientProgramArmed+res.TransientEraseArmed == 0 {
+		t.Error("schedule never armed a transient fault")
+	}
+	if res.RetrySaves == 0 {
+		t.Error("retry policy never saved a write")
+	}
+	if res.RetryRetired != 0 {
+		t.Errorf("RetryRetired = %d; budget covers every incident, nothing should retire", res.RetryRetired)
+	}
+	if res.RetentionAged == 0 {
+		t.Error("reboots never aged retention")
+	}
+	if res.SenseRetries == 0 {
+		t.Error("store never re-sensed a flickering read")
+	}
+	t.Logf("retry: attempts=%d saves=%d | fails: program=%d erase=%d | retention: aged=%d senses=%d recovered=%d scrubAbsorbed=%d",
+		res.RetryAttempts, res.RetrySaves, res.ProgramFails, res.EraseFails,
+		res.RetentionAged, res.SenseRetries, res.SenseRecovered, res.ScrubRetentionAbsorbed)
+
+	again, err := Run(transientTestConfig(7, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Fatalf("transient campaign diverged across identical runs:\n%+v\nvs\n%+v", res, again)
+	}
+}
+
+// TestCampaignTransientAsyncByteIdentical: retry backoffs, retention aging
+// and re-senses are all charged per bank in issue order, so the async
+// commit pipeline must replay the transient campaign bit for bit.
+func TestCampaignTransientAsyncByteIdentical(t *testing.T) {
+	cfg := transientTestConfig(21, 400)
+	sync, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertClean(t, sync)
+	acfg := cfg
+	acfg.AsyncCommit = 8
+	async, err := Run(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync.Cycles, async.Cycles = 0, 0 // compare everything else field-for-field
+	if sync.Fingerprint != async.Fingerprint {
+		t.Fatalf("async fingerprint %x != sync %x", async.Fingerprint, sync.Fingerprint)
+	}
+	if !reflect.DeepEqual(sync, async) {
+		t.Fatalf("async transient campaign diverged from sync:\n%+v\nvs\n%+v", sync, async)
+	}
+}
+
+// TestCampaignTransientExhaust: with the retry budget below the worst
+// incident, some transient-program faults must exhaust the budget and
+// retire the page — and the store has to absorb every retirement without
+// losing acked data. Erase transients are left out of the mix: a torn
+// erase that outlasts the budget legitimately destroys the page image,
+// which is the FTL's remap territory, not the raw store's.
+func TestCampaignTransientExhaust(t *testing.T) {
+	res, err := Run(Config{
+		Seed:   13,
+		Cycles: 400,
+		Retry:  1,
+		Mix: flash.FaultMix{
+			PowerLoss:        2,
+			TransientProgram: 4,
+			MinGap:           0,
+			MaxGap:           150,
+			MaxRetries:       4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertClean(t, res)
+	if res.RetrySaves == 0 {
+		t.Error("no single-shot incident was saved by the retry")
+	}
+	if res.RetryRetired == 0 {
+		t.Error("no incident exhausted the budget; MaxRetries too low to exercise retirement")
+	}
+	t.Logf("exhaust: attempts=%d saves=%d retired=%d", res.RetryAttempts, res.RetrySaves, res.RetryRetired)
+}
+
+// TestCampaignTransientRequiresRetry: arming transient weights without a
+// retry policy is a configuration error, not a latent campaign failure.
+func TestCampaignTransientRequiresRetry(t *testing.T) {
+	_, err := Run(Config{
+		Seed: 1, Cycles: 10,
+		Mix: flash.FaultMix{PowerLoss: 1, TransientProgram: 1, MaxGap: 50},
+	})
+	if err == nil {
+		t.Fatal("transient mix without Retry accepted")
+	}
+}
+
+// TestCampaignNegativeMixRejected: schedule construction validates weights,
+// so a negative weight surfaces as an error from Run, not a panic or a
+// skewed draw.
+func TestCampaignNegativeMixRejected(t *testing.T) {
+	_, err := Run(Config{
+		Seed: 1, Cycles: 10,
+		Mix: flash.FaultMix{PowerLoss: -1, StuckBits: 2, MaxGap: 50},
+	})
+	if err == nil {
+		t.Fatal("negative fault weight accepted")
 	}
 }

@@ -24,6 +24,12 @@ var (
 	// ErrPageSize is returned when a page operation is given a buffer
 	// whose length is not exactly one page.
 	ErrPageSize = errors.New("flash: buffer length must equal the page size")
+	// ErrTransient is returned by a program or erase whose verify failed
+	// transiently: the pulse's full cost was drawn and the array holds a
+	// partial result, but state stays recoverable — re-issuing the same
+	// operation can succeed. Controllers retry these before escalating
+	// to retirement.
+	ErrTransient = errors.New("flash: transient verify failure; retry may succeed")
 )
 
 // Stats counts flash operations and accumulates their energy and busy time.
@@ -34,6 +40,9 @@ type Stats struct {
 	Erases          uint64 // pages erased
 	Scrubs          uint64 // pages scrubbed by the management layer
 	Retirements     uint64 // pages retired onto spares
+	ProgramFails    uint64 // byte programs that failed verify transiently
+	EraseFails      uint64 // page erases that failed verify transiently
+	Waits           uint64 // retry backoff intervals charged to the busy ledger
 
 	Energy energy.Energy
 	Busy   time.Duration
@@ -48,6 +57,9 @@ func (s Stats) Add(o Stats) Stats {
 		Erases:          s.Erases + o.Erases,
 		Scrubs:          s.Scrubs + o.Scrubs,
 		Retirements:     s.Retirements + o.Retirements,
+		ProgramFails:    s.ProgramFails + o.ProgramFails,
+		EraseFails:      s.EraseFails + o.EraseFails,
+		Waits:           s.Waits + o.Waits,
 		Energy:          s.Energy + o.Energy,
 		Busy:            s.Busy + o.Busy,
 	}
@@ -62,6 +74,9 @@ func (s Stats) Sub(o Stats) Stats {
 		Erases:          s.Erases - o.Erases,
 		Scrubs:          s.Scrubs - o.Scrubs,
 		Retirements:     s.Retirements - o.Retirements,
+		ProgramFails:    s.ProgramFails - o.ProgramFails,
+		EraseFails:      s.EraseFails - o.EraseFails,
+		Waits:           s.Waits - o.Waits,
 		Energy:          s.Energy - o.Energy,
 		Busy:            s.Busy - o.Busy,
 	}
@@ -112,6 +127,7 @@ type Device struct {
 	dead    []bool   // per-page worn-out flag (guarded by the page's bank lock)
 	retired []bool   // per-page retirement flag (guarded by the page's bank lock)
 	drift   [][]byte // per-page fault-flip masks, nil until first flip (health.go)
+	rise    [][]byte // per-page marginal-cell masks, nil until first leak (retention.go)
 	banks   []bank
 
 	// programAll, when set, charges a program pulse even for bytes whose
@@ -176,6 +192,7 @@ func NewDevice(spec Spec) (*Device, error) {
 		dead:    make([]bool, spec.NumPages),
 		retired: make([]bool, spec.NumPages),
 		drift:   make([][]byte, spec.NumPages),
+		rise:    make([][]byte, spec.NumPages),
 		banks:   make([]bank, spec.Banks),
 	}
 	for i := range d.array {
@@ -293,9 +310,20 @@ func (d *Device) ReadByteAt(addr int) (byte, error) {
 		Kind: OpRead, Bank: b, Addr: addr, Bytes: 1,
 		Energy: d.spec.ReadEnergy, Busy: d.spec.ReadLatency,
 	})
+	page := d.PageOf(addr)
 	v := d.array[addr]
-	if f, fired := d.faultHit(b, OpRead); fired && f.Kind == FaultReadDisturb {
-		d.disturbPage(b, d.PageOf(addr), f.bits())
+	if m := d.rise[page]; m != nil {
+		buf := [1]byte{v}
+		d.flickerInto(b, page, addr, buf[:])
+		v = buf[0]
+	}
+	if f, fired := d.faultHit(b, OpRead); fired {
+		switch f.Kind {
+		case FaultReadDisturb:
+			d.disturbPage(b, page, f.bits())
+		case FaultRetention:
+			d.markRetention(b, page)
+		}
 	}
 	return v, nil
 }
@@ -317,13 +345,19 @@ func (d *Device) Read(addr int, dst []byte) error {
 		bk := &d.banks[b]
 		bk.mu.Lock()
 		copy(dst[off:off+n], d.array[addr+off:addr+off+n])
+		d.flickerInto(b, page, addr+off, dst[off:off+n])
 		d.emit(OpEvent{
 			Kind: OpRead, Bank: b, Addr: addr + off, Bytes: n,
 			Energy: d.spec.ReadEnergy * energy.Energy(n),
 			Busy:   d.spec.ReadLatency * time.Duration(n),
 		})
-		if f, fired := d.faultHit(b, OpRead); fired && f.Kind == FaultReadDisturb {
-			d.disturbPage(b, page, f.bits())
+		if f, fired := d.faultHit(b, OpRead); fired {
+			switch f.Kind {
+			case FaultReadDisturb:
+				d.disturbPage(b, page, f.bits())
+			case FaultRetention:
+				d.markRetention(b, page)
+			}
 		}
 		bk.mu.Unlock()
 		off += n
@@ -333,7 +367,10 @@ func (d *Device) Read(addr int, dst []byte) error {
 
 // ReadPage fills dst (exactly one page long) from page p, charging a page's
 // worth of reads. This is step 1 of the read-modify-write operation (§II-A),
-// performed into a caller-owned buffer.
+// performed into a caller-owned buffer. Unlike the host-facing Read paths,
+// ReadPage is a controller-issued margin-aware sense: marginal retention
+// cells (retention.go) are resolved to their stored value rather than
+// flickering, so the commit path never bakes read noise back into a page.
 func (d *Device) ReadPage(p int, dst []byte) error {
 	if err := d.checkPage(p); err != nil {
 		return err
@@ -352,8 +389,13 @@ func (d *Device) ReadPage(p int, dst []byte) error {
 		Energy: d.spec.ReadEnergy * energy.Energy(d.spec.PageSize),
 		Busy:   d.spec.ReadLatency * time.Duration(d.spec.PageSize),
 	})
-	if f, fired := d.faultHit(b, OpRead); fired && f.Kind == FaultReadDisturb {
-		d.disturbPage(b, p, f.bits())
+	if f, fired := d.faultHit(b, OpRead); fired {
+		switch f.Kind {
+		case FaultReadDisturb:
+			d.disturbPage(b, p, f.bits())
+		case FaultRetention:
+			d.markRetention(b, p)
+		}
 	}
 	return nil
 }
@@ -390,19 +432,34 @@ func (d *Device) programByteLocked(b, addr int, v byte) error {
 		d.emit(OpEvent{Kind: OpProgramSkip, Bank: b, Addr: addr, Bytes: 1, Value: v})
 		return nil
 	}
-	if f, fired := d.faultHit(b, OpProgram); fired && f.Kind == FaultPowerLoss {
-		// The pulse was cut short: some target bits cleared, the
-		// rest did not. Energy/latency for the partial pulse is
-		// still drawn from the supply.
-		d.tearProgram(b, addr, v)
-		d.emit(OpEvent{
-			Kind: OpProgram, Bank: b, Addr: addr, Bytes: 1, Value: d.array[addr],
-			Energy: d.spec.ProgramEnergy, Busy: d.spec.ProgramLatency,
-		})
-		return fmt.Errorf("program %#x: %w", addr, ErrPowerLoss)
+	if f, fired := d.faultHit(b, OpProgram); fired {
+		switch f.Kind {
+		case FaultPowerLoss:
+			// The pulse was cut short: some target bits cleared, the
+			// rest did not. Energy/latency for the partial pulse is
+			// still drawn from the supply.
+			d.tearProgram(b, addr, v)
+			d.emit(OpEvent{
+				Kind: OpProgram, Bank: b, Addr: addr, Bytes: 1, Value: d.array[addr],
+				Energy: d.spec.ProgramEnergy, Busy: d.spec.ProgramLatency,
+			})
+			return fmt.Errorf("program %#x: %w", addr, ErrPowerLoss)
+		case FaultTransientProgram:
+			// Verify failure: the pulse ran at full cost but left some
+			// target bits short of their level. Every bit that did move
+			// moved toward v, so the byte stays reachable and a re-issue
+			// can finish the job.
+			d.tearProgram(b, addr, v)
+			d.emit(OpEvent{
+				Kind: OpProgramFail, Bank: b, Addr: addr, Bytes: 1, Value: d.array[addr],
+				Energy: d.spec.ProgramEnergy, Busy: d.spec.ProgramLatency,
+			})
+			return fmt.Errorf("program %#x: %w", addr, ErrTransient)
+		}
 	}
 	d.array[addr] = v
 	d.absorbDrift(page, addr-d.PageBase(page), v)
+	d.absorbRise(page, addr-d.PageBase(page))
 	d.emit(OpEvent{
 		Kind: OpProgram, Bank: b, Addr: addr, Bytes: 1, Value: v,
 		Energy: d.spec.ProgramEnergy, Busy: d.spec.ProgramLatency,
@@ -432,6 +489,7 @@ func (d *Device) erasePageLocked(b, p int) error {
 	}
 	base := d.PageBase(p)
 	d.clearDrift(p)
+	d.clearRise(p)
 	f, fired := d.faultHit(b, OpErase)
 	if fired && f.Kind == FaultPowerLoss {
 		d.tearErase(b, p)
@@ -441,6 +499,18 @@ func (d *Device) erasePageLocked(b, p int) error {
 			Energy: d.spec.EraseEnergy, Busy: d.spec.EraseLatency,
 		})
 		return fmt.Errorf("erase page %d: %w", p, ErrPowerLoss)
+	}
+	if fired && f.Kind == FaultTransientErase {
+		// Verify failure: the pulse stressed the oxide at full cost but
+		// left a mixture of erased and stale bytes — re-issuing the erase
+		// can reach the fully erased state.
+		d.tearErase(b, p)
+		d.wear[p]++
+		d.emit(OpEvent{
+			Kind: OpEraseFail, Bank: b, Addr: p, Bytes: d.spec.PageSize,
+			Energy: d.spec.EraseEnergy, Busy: d.spec.EraseLatency,
+		})
+		return fmt.Errorf("erase page %d: %w", p, ErrTransient)
 	}
 	for i := 0; i < d.spec.PageSize; i++ {
 		d.array[base+i] = 0xFF
@@ -581,10 +651,14 @@ func (d *Device) programPageBulkLocked(b, p int, buf []byte) error {
 	}
 	programmed := 0
 	m := d.drift[p]
+	rm := d.rise[p]
 	for i, v := range buf {
 		if page[i] != v {
 			page[i] = v
 			programmed++
+			if rm != nil {
+				rm[i] = 0 // a real pulse recharges the byte's marginal cells
+			}
 		}
 		if m != nil {
 			m[i] &= v

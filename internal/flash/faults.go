@@ -1,6 +1,10 @@
 package flash
 
-import "github.com/flipbit-sim/flipbit/internal/xrand"
+import (
+	"fmt"
+
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
 
 // Fault scheduling. The one-shot power-loss hook of early versions grew into
 // a general mechanism: a device (or a single bank) can be armed with a
@@ -34,6 +38,25 @@ const (
 	// FaultReadDisturb serves the victim read correctly but then clears
 	// Bits cells in the page read — charge drift from repeated reads.
 	FaultReadDisturb
+	// FaultTransientProgram fails the victim program with ErrTransient:
+	// the pulse ran (full energy and latency drawn) but verify found bits
+	// short of their target level. State stays reachable, so re-issuing
+	// the program can complete it; with Retries > 1 the same incident
+	// keeps failing re-issues until the budget drains.
+	FaultTransientProgram
+	// FaultTransientErase fails the victim erase with ErrTransient: the
+	// pulse stressed the oxide (wear still increments) but left a mixture
+	// of erased and stale bytes. A re-issued erase can succeed; Retries
+	// budgets the incident like FaultTransientProgram.
+	FaultTransientErase
+	// FaultRetention serves the victim read correctly but then marks a
+	// programmed cell in the page read as marginal: its charge has leaked
+	// to the read-threshold boundary, so later host reads of that cell
+	// flicker between 0 and 1 until it is re-programmed (retention.go).
+	FaultRetention
+
+	// faultKindCount sizes exhaustiveness checks; keep it last.
+	faultKindCount
 )
 
 func (k FaultKind) String() string {
@@ -44,8 +67,19 @@ func (k FaultKind) String() string {
 		return "stuck-bits"
 	case FaultReadDisturb:
 		return "read-disturb"
+	case FaultTransientProgram:
+		return "transient-program"
+	case FaultTransientErase:
+		return "transient-erase"
+	case FaultRetention:
+		return "retention"
 	}
 	return "none"
+}
+
+// transient reports whether k is one of the retryable verify-failure kinds.
+func (k FaultKind) transient() bool {
+	return k == FaultTransientProgram || k == FaultTransientErase
 }
 
 // appliesTo reports whether an op of kind op advances (and can trip) a fault
@@ -60,6 +94,12 @@ func (k FaultKind) appliesTo(op OpKind) bool {
 		return op == OpErase
 	case FaultReadDisturb:
 		return op == OpRead
+	case FaultTransientProgram:
+		return op == OpProgram
+	case FaultTransientErase:
+		return op == OpErase
+	case FaultRetention:
+		return op == OpRead
 	}
 	return false
 }
@@ -73,6 +113,11 @@ type Fault struct {
 	// Bits is how many cells a stuck-bits or read-disturb fault affects
 	// (0 means 1).
 	Bits int
+	// Retries is the transient-fault budget: how many consecutive issues
+	// of the faulted operation (the first plus Retries-1 re-issues) fail
+	// before one succeeds (0 means 1 — fail once, succeed on re-issue).
+	// Ignored by non-transient kinds.
+	Retries int
 }
 
 // bits returns the effective affected-cell count.
@@ -81,6 +126,14 @@ func (f Fault) bits() int {
 		return 1
 	}
 	return f.Bits
+}
+
+// retries returns the effective transient failure budget.
+func (f Fault) retries() int {
+	if f.Retries <= 0 {
+		return 1
+	}
+	return f.Retries
 }
 
 // FaultSchedule supplies faults to re-arm a scope after each firing. Next
@@ -93,21 +146,63 @@ type FaultSchedule interface {
 // FaultMix parameterises RandomSchedule: relative weights per fault kind and
 // the uniform ranges the gap and bit counts are drawn from.
 type FaultMix struct {
-	PowerLoss   int // weight of FaultPowerLoss
-	StuckBits   int // weight of FaultStuckBits
-	ReadDisturb int // weight of FaultReadDisturb
+	PowerLoss        int // weight of FaultPowerLoss
+	StuckBits        int // weight of FaultStuckBits
+	ReadDisturb      int // weight of FaultReadDisturb
+	TransientProgram int // weight of FaultTransientProgram
+	TransientErase   int // weight of FaultTransientErase
+	Retention        int // weight of FaultRetention
 
 	MinGap, MaxGap int // Fault.After drawn uniformly from [MinGap, MaxGap]
 	MaxBits        int // Bits drawn uniformly from [1, MaxBits] (0 → 1)
+	// MaxRetries bounds the transient budget: Retries is drawn uniformly
+	// from [1, MaxRetries] for transient kinds (0 → always 1).
+	MaxRetries int
 }
 
 // weightSum returns the total weight, defaulting to power loss only.
 func (m FaultMix) weightSum() int {
-	s := m.PowerLoss + m.StuckBits + m.ReadDisturb
+	s := m.PowerLoss + m.StuckBits + m.ReadDisturb +
+		m.TransientProgram + m.TransientErase + m.Retention
 	if s <= 0 {
 		return 1
 	}
 	return s
+}
+
+// Validate rejects mixes that would corrupt the weighted draw: a negative
+// weight silently skews every pick after it in the cascade (the draw is a
+// prefix-sum walk), so it is refused outright rather than clamped. Range
+// parameters must be non-negative for the same reason.
+func (m FaultMix) Validate() error {
+	for _, w := range []struct {
+		name string
+		v    int
+	}{
+		{"PowerLoss", m.PowerLoss},
+		{"StuckBits", m.StuckBits},
+		{"ReadDisturb", m.ReadDisturb},
+		{"TransientProgram", m.TransientProgram},
+		{"TransientErase", m.TransientErase},
+		{"Retention", m.Retention},
+	} {
+		if w.v < 0 {
+			return fmt.Errorf("flash: FaultMix.%s weight is negative (%d); weights must be >= 0", w.name, w.v)
+		}
+	}
+	if m.MinGap < 0 || m.MaxGap < 0 {
+		return fmt.Errorf("flash: FaultMix gap range [%d, %d] is negative", m.MinGap, m.MaxGap)
+	}
+	if m.MaxGap < m.MinGap {
+		return fmt.Errorf("flash: FaultMix gap range [%d, %d] is inverted", m.MinGap, m.MaxGap)
+	}
+	if m.MaxBits < 0 {
+		return fmt.Errorf("flash: FaultMix.MaxBits is negative (%d)", m.MaxBits)
+	}
+	if m.MaxRetries < 0 {
+		return fmt.Errorf("flash: FaultMix.MaxRetries is negative (%d)", m.MaxRetries)
+	}
+	return nil
 }
 
 // RandomSchedule is an endless, seeded fault stream: kinds are drawn by
@@ -119,7 +214,14 @@ type RandomSchedule struct {
 }
 
 // NewRandomSchedule returns the deterministic schedule for (seed, mix).
+// The mix must pass Validate; an invalid mix (negative weights or ranges)
+// is a programming error and panics, mirroring MustNewDevice. Callers
+// holding user-supplied mixes should call mix.Validate first and surface
+// the error.
 func NewRandomSchedule(seed uint64, mix FaultMix) *RandomSchedule {
+	if err := mix.Validate(); err != nil {
+		panic(err)
+	}
 	if mix.MaxGap < mix.MinGap {
 		mix.MaxGap = mix.MinGap
 	}
@@ -132,14 +234,20 @@ func (s *RandomSchedule) Next() (Fault, bool) {
 	pick := s.rng.Intn(m.weightSum())
 	kind := FaultPowerLoss
 	switch {
-	case m.PowerLoss+m.StuckBits+m.ReadDisturb <= 0:
+	case m.PowerLoss+m.StuckBits+m.ReadDisturb+m.TransientProgram+m.TransientErase+m.Retention <= 0:
 		kind = FaultPowerLoss
 	case pick < m.PowerLoss:
 		kind = FaultPowerLoss
 	case pick < m.PowerLoss+m.StuckBits:
 		kind = FaultStuckBits
-	default:
+	case pick < m.PowerLoss+m.StuckBits+m.ReadDisturb:
 		kind = FaultReadDisturb
+	case pick < m.PowerLoss+m.StuckBits+m.ReadDisturb+m.TransientProgram:
+		kind = FaultTransientProgram
+	case pick < m.PowerLoss+m.StuckBits+m.ReadDisturb+m.TransientProgram+m.TransientErase:
+		kind = FaultTransientErase
+	default:
+		kind = FaultRetention
 	}
 	gap := m.MinGap
 	if m.MaxGap > m.MinGap {
@@ -149,7 +257,16 @@ func (s *RandomSchedule) Next() (Fault, bool) {
 	if m.MaxBits > 1 {
 		bits += s.rng.Intn(m.MaxBits)
 	}
-	return Fault{Kind: kind, After: gap, Bits: bits}, true
+	f := Fault{Kind: kind, After: gap, Bits: bits}
+	if kind.transient() {
+		// The extra draw happens only for transient kinds, so schedules
+		// over the legacy mixes reproduce their historical streams.
+		f.Retries = 1
+		if m.MaxRetries > 1 {
+			f.Retries += s.rng.Intn(m.MaxRetries)
+		}
+	}
+	return f, true
 }
 
 // faultScope is one arming domain: the device-wide shared scope or a single
@@ -160,6 +277,13 @@ type faultScope struct {
 	cur   Fault
 	sched FaultSchedule
 	fired uint64
+	// Transient residue: after a transient fault fires with a budget of
+	// Retries, the same incident keeps failing the next residLeft
+	// matching operations on this scope — the re-issues of the victim op
+	// — without counting as new firings or advancing the next fault's
+	// countdown.
+	residKind FaultKind
+	residLeft int
 }
 
 // arm replaces the scope's pending fault. Arming FaultNone disarms.
@@ -168,10 +292,14 @@ func (fs *faultScope) arm(f Fault) {
 	fs.armed = f.Kind != FaultNone
 }
 
-// setSchedule installs a schedule and arms its first fault.
+// setSchedule installs a schedule and arms its first fault. Any transient
+// residue from a previous incident is dropped: a new schedule (or a nil one
+// — how ClearFaults resets scopes) starts from a clean slate.
 func (fs *faultScope) setSchedule(s FaultSchedule) {
 	fs.sched = s
 	fs.armed = false
+	fs.residKind = FaultNone
+	fs.residLeft = 0
 	if s != nil {
 		if f, ok := s.Next(); ok {
 			fs.arm(f)
@@ -181,8 +309,14 @@ func (fs *faultScope) setSchedule(s FaultSchedule) {
 
 // match advances the countdown for an op of the given kind and reports
 // whether the pending fault fires on it. On firing, the next fault (if a
-// schedule is installed) is armed.
+// schedule is installed) is armed. Transient residue is consumed first:
+// while an incident's budget is draining, matching operations fail again
+// without advancing the armed fault's countdown.
 func (fs *faultScope) match(op OpKind) (Fault, bool) {
+	if fs.residLeft > 0 && fs.residKind.appliesTo(op) {
+		fs.residLeft--
+		return Fault{Kind: fs.residKind}, true
+	}
 	if !fs.armed || !fs.cur.Kind.appliesTo(op) {
 		return Fault{}, false
 	}
@@ -193,6 +327,10 @@ func (fs *faultScope) match(op OpKind) (Fault, bool) {
 	f := fs.cur
 	fs.armed = false
 	fs.fired++
+	if f.Kind.transient() && f.retries() > 1 {
+		fs.residKind = f.Kind
+		fs.residLeft = f.retries() - 1
+	}
 	if fs.sched != nil {
 		if nf, ok := fs.sched.Next(); ok {
 			fs.arm(nf)
@@ -262,11 +400,11 @@ func (d *Device) FaultsLive() bool { return d.faultsLive.Load() }
 // anyArmedLocked reports whether any scope holds an armed fault. Called
 // with ftMu held.
 func (d *Device) anyArmedLocked() bool {
-	if d.faults.armed {
+	if d.faults.armed || d.faults.residLeft > 0 {
 		return true
 	}
 	for b := range d.banks {
-		if d.banks[b].faults.armed {
+		if d.banks[b].faults.armed || d.banks[b].faults.residLeft > 0 {
 			return true
 		}
 	}

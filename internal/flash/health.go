@@ -198,6 +198,7 @@ type BankHealth struct {
 	Dead      int // pages past endurance (erases leave cells stuck)
 	Retired   int // pages administratively retired
 	Stuck     int // cells currently drifted to 0 across the bank's pages
+	Marginal  int // cells currently marginal from retention drift (retention.go)
 }
 
 // HealthReport is a device-wide endurance snapshot: per-bank wear
@@ -210,6 +211,7 @@ type HealthReport struct {
 	Dead      int
 	Retired   int
 	Stuck     int // total drifted cells
+	Marginal  int // total marginal retention cells
 }
 
 // Health summarises the device's endurance state.
@@ -243,6 +245,7 @@ func (d *Device) Health() HealthReport {
 				bh.Retired++
 			}
 			bh.Stuck += popcount(d.drift[p])
+			bh.Marginal += popcount(d.rise[p])
 		}
 		bk.mu.Unlock()
 		if bh.MaxWear > rep.MaxWear {
@@ -251,6 +254,7 @@ func (d *Device) Health() HealthReport {
 		rep.Dead += bh.Dead
 		rep.Retired += bh.Retired
 		rep.Stuck += bh.Stuck
+		rep.Marginal += bh.Marginal
 	}
 	return rep
 }

@@ -18,6 +18,9 @@ const (
 	OpErase                     // one page erased
 	OpScrub                     // one page scrubbed by the management layer
 	OpRetire                    // one page retired onto a spare
+	OpProgramFail               // a program pulse that failed verify transiently (full cost, bits short of target)
+	OpEraseFail                 // an erase pulse that failed verify transiently (full cost, wear still taken)
+	OpWait                      // a retry backoff interval charged to the busy ledger
 
 	// opKindCount sizes per-kind accumulator arrays; keep it last.
 	opKindCount
@@ -37,6 +40,12 @@ func (k OpKind) String() string {
 		return "scrub"
 	case OpRetire:
 		return "retire"
+	case OpProgramFail:
+		return "program-fail"
+	case OpEraseFail:
+		return "erase-fail"
+	case OpWait:
+		return "wait"
 	}
 	return "unknown"
 }
@@ -200,6 +209,12 @@ func (s *statsShard) apply(ev OpEvent) {
 		s.Scrubs++
 	case OpRetire:
 		s.Retirements++
+	case OpProgramFail:
+		s.ProgramFails += uint64(ev.Bytes)
+	case OpEraseFail:
+		s.EraseFails++
+	case OpWait:
+		s.Waits++
 	}
 	s.energyKind[ev.Kind] += ev.Energy
 	s.Busy += ev.Busy

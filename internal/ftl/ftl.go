@@ -180,9 +180,8 @@ func (f *FTL) ErasePage(lp int) error {
 	if lp < 0 || lp >= len(f.l2p) {
 		return fmt.Errorf("%w: page %d", ErrBounds, lp)
 	}
-	err := f.dev.Flash().ErasePage(f.l2p[lp])
-	if err != nil && f.poolSize > 0 &&
-		(errors.Is(err, flash.ErrWornOut) || errors.Is(err, flash.ErrPageRetired)) {
+	err := f.dev.ErasePage(f.l2p[lp])
+	if err != nil && f.poolSize > 0 && retirableWriteErr(err) {
 		if rerr := f.retirePhys(f.l2p[lp], true); rerr == nil {
 			return nil
 		}
@@ -212,6 +211,17 @@ func (f *FTL) Read(laddr int, dst []byte) error {
 	return f.forEachPage(laddr, len(dst), func(paddr, off, n int) error {
 		return f.dev.Read(paddr, dst[off:off+n])
 	})
+}
+
+// SensePage margin-senses logical page lp into dst (one page), resolving
+// marginal retention cells to their stored values. It satisfies the
+// store's optional sense extension so the hardened read path works through
+// the translation layer.
+func (f *FTL) SensePage(lp int, dst []byte) error {
+	if lp < 0 || lp >= len(f.l2p) {
+		return fmt.Errorf("%w: logical page %d", ErrBounds, lp)
+	}
+	return f.dev.SensePage(f.l2p[lp], dst)
 }
 
 // Write stores data at the logical address through the FlipBit device,

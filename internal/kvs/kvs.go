@@ -45,6 +45,13 @@ const (
 
 	// verifyRetries bounds re-append attempts after a read-back mismatch.
 	verifyRetries = 4
+
+	// senseRetries bounds the extra reads a CRC failure earns before the
+	// store falls back to brute-force single-bit repair. A marginal
+	// retention cell (flash/retention.go) resolves randomly per read, so a
+	// re-sense usually comes back clean and — unlike a repair — tells the
+	// store the on-flash copy is still intact.
+	senseRetries = 2
 )
 
 // Errors.
@@ -73,15 +80,27 @@ type Backend interface {
 	NumPages() int
 }
 
+// PageSenser is an optional Backend extension: a slow margin-aware
+// controller sense of one page (shifted read reference), which resolves
+// marginal retention cells to their stored values instead of the per-read
+// flicker of a fast host read. When the backend implements it, the
+// hardened read path falls back to a margin sense after fast re-reads
+// fail, so the single-bit repair always judges persistent damage on its
+// own — never with transient read noise stacked on top.
+type PageSenser interface {
+	SensePage(page int, dst []byte) error
+}
+
 // coreBackend adapts a FlipBit device to the Backend interface.
 type coreBackend struct{ dev *core.Device }
 
 func (c coreBackend) Read(addr int, dst []byte) error   { return c.dev.Read(addr, dst) }
 func (c coreBackend) Write(addr int, data []byte) error { return c.dev.Write(addr, data) }
-func (c coreBackend) ErasePage(p int) error             { return c.dev.Flash().ErasePage(p) }
+func (c coreBackend) ErasePage(p int) error             { return c.dev.ErasePage(p) }
 func (c coreBackend) PageSize() int                     { return c.dev.Flash().Spec().PageSize }
 func (c coreBackend) NumPages() int                     { return c.dev.Flash().Spec().NumPages }
 func (c coreBackend) PageWear(p int) uint32             { return c.dev.Flash().Wear(p) }
+func (c coreBackend) SensePage(p int, dst []byte) error { return c.dev.SensePage(p, dst) }
 
 // WearBackend is an optional Backend extension exposing per-page erase
 // counts. When the backend implements it, proactive compaction biases
@@ -96,6 +115,9 @@ type Stats struct {
 	Compactions      uint64 // GC passes
 	TornSkipped      uint64 // records dropped at mount for unrepairable CRCs
 	CorrectedBits    uint64 // single-bit repairs (mount replay and Get)
+	SenseRetries     uint64 // re-reads issued after a CRC failure (retention flicker)
+	SenseRecovered   uint64 // CRC failures that a re-sense resolved without repair
+	MarginSenses     uint64 // slow margin-aware senses after fast re-reads failed
 	VerifyFailures   uint64 // read-back mismatches after a commit (WithVerify)
 	QuarantinedPages uint64 // pages with unrepairable headers awaiting reclaim
 	RetiredPages     uint64 // pages abandoned mid-use after a verify failure
@@ -245,6 +267,29 @@ func (s *Store) scanMount() error {
 			return err
 		}
 		seq, state := parsePageHeader(buf, &s.stats)
+		// A quarantine verdict is worth a re-sense: retention flicker on
+		// top of a stuck cell can push a header past single-bit repair on
+		// one read and back within reach on the next.
+		for try := 0; try < senseRetries && state == pageQuarantined; try++ {
+			s.stats.SenseRetries++
+			if err := s.b.Read(s.pageBase(p), buf); err != nil {
+				return err
+			}
+			seq, state = parsePageHeader(buf, &s.stats)
+			if state != pageQuarantined {
+				s.stats.SenseRecovered++
+			}
+		}
+		if state == pageQuarantined {
+			if ok, err := s.marginSense(p, buf); err != nil {
+				return err
+			} else if ok {
+				if seq2, st2 := parsePageHeader(buf, &s.stats); st2 != pageQuarantined {
+					s.stats.SenseRecovered++
+					seq, state = seq2, st2
+				}
+			}
+		}
 		s.pageSeq[p] = seq
 		switch state {
 		case pageFree:
@@ -339,7 +384,7 @@ func (s *Store) replayPageFrom(page int, seq uint32, buf []byte, start int) {
 	ps := len(buf)
 	off := start
 	for off+recHeaderSize+crcSize <= ps {
-		size, ok := s.checkRecord(buf, off)
+		size, ok := s.checkRecord(page, buf, off)
 		if !ok {
 			if !allFF(buf[off:min(off+recHeaderSize+crcSize, ps)]) {
 				// Torn write or unrepairable damage: the tail is
@@ -369,14 +414,55 @@ func (s *Store) replayPageFrom(page int, seq uint32, buf []byte, start int) {
 	s.pageUsed[page] = off
 }
 
-// checkRecord validates (and if needed single-bit-repairs, in buf) the
-// record at off, returning its size. Returns ok=false when the bytes are
-// free space or damaged beyond repair.
-func (s *Store) checkRecord(buf []byte, off int) (int, bool) {
+// marginSense performs a slow margin-aware controller sense of one store
+// page into dst (one full page) when the backend supports it. ok reports
+// whether a sense was issued; a read failure (e.g. power loss mid-sense)
+// is returned so callers on error-propagating paths can surface it.
+func (s *Store) marginSense(page int, dst []byte) (bool, error) {
+	b, can := s.b.(PageSenser)
+	if !can {
+		return false, nil
+	}
+	s.stats.MarginSenses++
+	if err := b.SensePage(page, dst); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// checkRecord validates (and if needed re-senses or single-bit-repairs, in
+// buf) the record of page at off, returning its size. Returns ok=false when
+// the bytes are free space or damaged beyond repair.
+func (s *Store) checkRecord(page int, buf []byte, off int) (int, bool) {
 	ps := len(buf)
 	size, ok := recordSize(buf, off, ps)
 	if ok && recordCRCValid(buf, off, size) {
 		return size, true
+	}
+	if allFF(buf[off:min(off+recHeaderSize+crcSize, ps)]) {
+		return 0, false // free space, not damage
+	}
+	// Re-sense before repairing: a marginal retention cell flickers per
+	// read, so a fresh read of the page tail usually comes back clean —
+	// and when flicker stacks on top of a genuinely stuck cell, the
+	// re-read narrows the damage back within single-bit reach.
+	for try := 0; try < senseRetries; try++ {
+		s.stats.SenseRetries++
+		if err := s.b.Read(s.pageBase(page)+off, buf[off:]); err != nil {
+			break
+		}
+		if size, ok := recordSize(buf, off, ps); ok && recordCRCValid(buf, off, size) {
+			s.stats.SenseRecovered++
+			return size, true
+		}
+	}
+	// Fast re-reads flicker too; a margin sense strips the read noise so
+	// the repair below judges only persistent damage.
+	if ok, err := s.marginSense(page, buf); err == nil && ok {
+		if size, ok := recordSize(buf, off, ps); ok && recordCRCValid(buf, off, size) {
+			s.stats.SenseRecovered++
+			return size, true
+		}
 	}
 	// The damage may be a single drifted cell anywhere in the record —
 	// including inside the length fields, which is why the repair must
@@ -436,8 +522,11 @@ func (s *Store) supersede(key string) {
 	}
 }
 
-// Get returns the value stored for key, verifying the record CRC and
-// repairing a single drifted bit in the returned copy.
+// Get returns the value stored for key, verifying the record CRC. A CRC
+// failure first earns a bounded re-sense — a marginal retention cell reads
+// differently on the next try, and a clean re-read proves the on-flash copy
+// is intact — before falling back to brute-force single-bit repair of the
+// returned copy.
 func (s *Store) Get(key string) ([]byte, error) {
 	loc, ok := s.index[key]
 	if !ok || loc.dead {
@@ -449,11 +538,37 @@ func (s *Store) Get(key string) ([]byte, error) {
 	}
 	repaired := false
 	if !recordCRCValid(rec, 0, len(rec)) {
-		if _, ok := correctSingleBit(rec, len(rec)-crcSize); ok {
-			s.stats.CorrectedBits++
-			repaired = true
-		} else {
-			return nil, fmt.Errorf("%w: %q", ErrCorrupt, key)
+		sensed := false
+		for try := 0; try < senseRetries; try++ {
+			s.stats.SenseRetries++
+			if err := s.b.Read(s.pageBase(loc.page)+loc.off, rec); err != nil {
+				return nil, err
+			}
+			if recordCRCValid(rec, 0, len(rec)) {
+				s.stats.SenseRecovered++
+				sensed = true
+				break
+			}
+		}
+		if !sensed {
+			pg := make([]byte, s.ps)
+			if ok, err := s.marginSense(loc.page, pg); err != nil {
+				return nil, err
+			} else if ok {
+				copy(rec, pg[loc.off:loc.off+loc.size])
+				if recordCRCValid(rec, 0, len(rec)) {
+					s.stats.SenseRecovered++
+					sensed = true
+				}
+			}
+		}
+		if !sensed {
+			if _, ok := correctSingleBit(rec, len(rec)-crcSize); ok {
+				s.stats.CorrectedBits++
+				repaired = true
+			} else {
+				return nil, fmt.Errorf("%w: %q", ErrCorrupt, key)
+			}
 		}
 	}
 	keyLen := int(rec[2])
