@@ -32,7 +32,7 @@ var (
 	flags      = flag.NewFlagSet("flipbit", flag.ExitOnError)
 	quick      = flags.Bool("quick", false, "trim workloads for a fast run (shapes preserved)")
 	csvDir     = flags.String("csv", "", "also write each table as <dir>/<id>.csv")
-	benchJSON  = flags.String("benchjson", "", "write the writepath JSON report to this path, plus BENCH_crashcampaign.json, BENCH_transient.json, BENCH_lifetime.json, BENCH_encode.json and BENCH_kvscale.json next to it")
+	benchJSON  = flags.String("benchjson", "", "write the writepath JSON report to this path, plus BENCH_crashcampaign.json, BENCH_transient.json, BENCH_lifetime.json, BENCH_encode.json, BENCH_kvscale.json and BENCH_inflash.json next to it")
 	faults     = flags.Bool("faults", false, "run a fault-injection campaign against the key-value store and print its outcome")
 	seed       = flags.Uint64("seed", 1, "campaign seed for -faults (same seed replays byte-identically)")
 	cycles     = flags.Int("cycles", 1000, "crash/reboot cycles for -faults")
@@ -40,6 +40,8 @@ var (
 	scrub      = flags.Bool("scrub", false, "arm the background scrubber (and a 2-page spare pool with -ftl) during the -faults campaign")
 	retry      = flags.Int("retry", 0, "arm transient program/erase verify failures in the -faults mix, absorbed by a verify-retry budget of this many re-issues")
 	lifetime   = flags.Bool("lifetime", false, "run the endurance lifetime experiment and print writes-to-first-data-loss per configuration")
+	inflash    = flags.Bool("inflash", false, "run the in-flash query experiment and print pushdown-vs-host-scan results")
+	listExps   = flags.Bool("experiments", false, "list every bench experiment id with a one-line description, then exit")
 	cpuProfile = flags.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with 'go tool pprof')")
 	memProfile = flags.String("memprofile", "", "write a heap profile taken at exit to this file")
 )
@@ -87,9 +89,24 @@ func run() int {
 		}()
 	}
 
+	if *listExps {
+		for _, e := range bench.Registry() {
+			fmt.Printf("  %-20s %s\n", e.ID, e.What)
+		}
+		return 0
+	}
 	if *lifetime {
 		if err := runLifetime(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "flipbit: lifetime: %v\n", err)
+			return 1
+		}
+		if len(args) == 0 && *benchJSON == "" && !*faults && !*inflash {
+			return 0
+		}
+	}
+	if *inflash {
+		if err := runExp(cfg, "inflash"); err != nil {
+			fmt.Fprintf(os.Stderr, "flipbit: inflash: %v\n", err)
 			return 1
 		}
 		if len(args) == 0 && *benchJSON == "" && !*faults {
@@ -217,6 +234,16 @@ func writeBenchJSON(path string, cfg bench.Config) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", ksPath)
+
+	inf, err := bench.RunInflash(cfg)
+	if err != nil {
+		return err
+	}
+	infPath := filepath.Join(filepath.Dir(path), "BENCH_inflash.json")
+	if err := writeJSONFile(infPath, inf.WriteJSON); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", infPath)
 	return nil
 }
 
@@ -229,6 +256,18 @@ func runLifetime(cfg bench.Config) error {
 	}
 	tab.Render(os.Stdout)
 	fmt.Printf("  (lifetime in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runExp runs one registered experiment and renders its table.
+func runExp(cfg bench.Config, id string) error {
+	start := time.Now()
+	tab, err := bench.ByID(id).Run(cfg)
+	if err != nil {
+		return err
+	}
+	tab.Render(os.Stdout)
+	fmt.Printf("  (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
@@ -336,6 +375,8 @@ Regenerates the paper's tables and figures. Examples:
   flipbit -faults -ftl -scrub                 # same with the scrubber armed
   flipbit -faults -retry 3                    # with transient verify failures + retry
   flipbit -lifetime                           # writes-to-first-data-loss comparison
+  flipbit -inflash                            # in-flash pushdown vs host scans
+  flipbit -experiments                        # list every experiment id
   flipbit -benchjson BENCH_writepath.json     # machine-readable bench artifacts
   flipbit -cpuprofile cpu.pprof -quick all    # profile the run for go tool pprof
 `

@@ -40,6 +40,7 @@ import (
 	"github.com/flipbit-sim/flipbit/internal/energy"
 	"github.com/flipbit-sim/flipbit/internal/flash"
 	"github.com/flipbit-sim/flipbit/internal/ftl"
+	"github.com/flipbit-sim/flipbit/internal/isc"
 	"github.com/flipbit-sim/flipbit/internal/kvs"
 )
 
@@ -417,3 +418,56 @@ func WithKVCheckpoint(cfg CheckpointConfig) KVOption { return kvs.WithCheckpoint
 
 // WithKVVerify makes every commit read back and verify what it wrote.
 func WithKVVerify() KVOption { return kvs.WithVerify() }
+
+// In-storage compute: the multi-page bitwise sense primitive and the
+// predicate-pushdown scan surface built on it. A sense activates up to
+// Spec.MaxSensePages wordlines of one bank simultaneously and resolves
+// their bitwise AND or OR on the bitlines, charged once per sense instead
+// of once per page — the primitive bitmap-index scans ride on. See
+// internal/isc for the bitmap layout and the planner.
+
+// SenseOp selects the bitline combination of a multi-page sense.
+type SenseOp = flash.SenseOp
+
+const (
+	// SenseAND resolves the bitwise AND of the sensed pages.
+	SenseAND = flash.SenseAND
+	// SenseOR resolves the bitwise OR of the sensed pages.
+	SenseOR = flash.SenseOR
+)
+
+// Pred is a predicate tree over indexed record fields, evaluated inside
+// the flash array by KVStore.Scan.
+type Pred = isc.Pred
+
+// PredEq matches records whose field falls in the given bucket.
+func PredEq(field string, bucket int) Pred { return isc.Eq(field, bucket) }
+
+// PredIn matches records whose field falls in any of the given buckets.
+func PredIn(field string, buckets ...int) Pred { return isc.In(field, buckets...) }
+
+// PredAnd matches records satisfying every child predicate.
+func PredAnd(ps ...Pred) Pred { return isc.And(ps...) }
+
+// PredOr matches records satisfying any child predicate.
+func PredOr(ps ...Pred) Pred { return isc.Or(ps...) }
+
+// PredNot matches records failing the child predicate.
+func PredNot(p Pred) Pred { return isc.Not(p) }
+
+// KVIndexField declares one indexed record attribute: its bucket count and
+// how a record's bucket is derived from its key and value.
+type KVIndexField = kvs.IndexField
+
+// KVIndexSpec configures the in-flash scan index.
+type KVIndexSpec = kvs.IndexSpec
+
+// KVPair is one KVStore.Scan result.
+type KVPair = kvs.KV
+
+// WithKVScanIndex arms predicate-pushdown scans: per-(field,bucket)
+// bitmaps are kept in a carved flash region and Scan evaluates predicates
+// inside the array with multi-page senses, reading only matching records.
+// Backends that cannot sense (the FTL's remapping would scramble the
+// layout) silently fall back to exact host scans.
+func WithKVScanIndex(spec KVIndexSpec) KVOption { return kvs.WithScanIndex(spec) }

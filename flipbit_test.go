@@ -207,3 +207,67 @@ func TestPublicKVS(t *testing.T) {
 		}
 	}
 }
+
+// TestPublicScan exercises the in-storage compute surface: a scan index on
+// the store, predicate pushdown, and the raw sense primitive.
+func TestPublicScan(t *testing.T) {
+	spec := flipbit.DefaultSpec()
+	spec.PageSize = 128
+	spec.NumPages = 32
+	spec.Banks = 2
+	dev, err := flipbit.NewDevice(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := flipbit.KVIndexSpec{
+		MaxKeys: 32,
+		Fields: []flipbit.KVIndexField{
+			{Name: "status", Buckets: 4, Extract: func(_ string, v []byte) int { return int(v[0]) % 4 }},
+		},
+	}
+	s, err := flipbit.OpenKVS(dev, flipbit.WithKVScanIndex(idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.ScanIndexed() {
+		t.Fatal("scan index did not come up")
+	}
+	for i := 0; i < 16; i++ {
+		if err := s.Put(fmt.Sprintf("dev%02d", i), []byte{byte(i), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := flipbit.PredAnd(
+		flipbit.PredIn("status", 1, 2),
+		flipbit.PredNot(flipbit.PredEq("status", 2)),
+	)
+	before := dev.Flash().Stats()
+	got, err := s.Scan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Flash().Stats().Senses == before.Senses {
+		t.Error("scan was not served in-flash")
+	}
+	if len(got) != 4 {
+		t.Fatalf("scan returned %d records, want 4 (status 1)", len(got))
+	}
+	for _, kv := range got {
+		var _ flipbit.KVPair = kv
+		if kv.Val[0]%4 != 1 {
+			t.Errorf("scan returned %q with status %d", kv.Key, kv.Val[0]%4)
+		}
+	}
+
+	// The raw primitive: a two-page OR sense charged as one sense.
+	var op flipbit.SenseOp = flipbit.SenseOR
+	dst := make([]byte, spec.PageSize)
+	before = dev.Flash().Stats()
+	if err := dev.Flash().SenseMulti(op, []int{0, 2}, []bool{false, false}, dst); err != nil {
+		t.Fatal(err)
+	}
+	d := dev.Flash().Stats()
+	if d.Senses != before.Senses+1 || d.PagesSensed != before.PagesSensed+2 {
+		t.Errorf("sense accounting: %d senses / %d pages, want +1 / +2", d.Senses-before.Senses, d.PagesSensed-before.PagesSensed)
+	}
+}

@@ -102,6 +102,51 @@ func TestValidateArtifactRejects(t *testing.T) {
 			  "rows":[{"keys":1000,"data_pages":30,"slot_pages":3,"ops":1600,"ops_per_sec":1,
 			           "compactions":0,"checkpoints":2,"live_bytes":80000,"used_bytes":100000,"space_amp":1.2,
 			           "scan_mount_device_ms":15,"ckpt_mount_device_ms":1,"mount_speedup":15,"tail_pages_replayed":1}]}`},
+		{"inflash pushdown diverged from host", "inflash",
+			`{"seed":1,"page_size":256,"banks":4,"keys":2000,"buckets":100,"value_size":24,"stale_updates":100,
+			  "samples":1024,"sample_width":10,
+			  "rows":[{"predicate":"sel=0","selectivity_pct":1,"matches":20,"candidates":22,"false_positives":2,
+			           "senses":1,"pages_sensed":1,"scan_energy_uj":0.01,"host_energy_uj":0.4,"energy_x":40,
+			           "scan_device_ms":0.04,"host_device_ms":2.4,"time_x":40,"equal":false}],
+			  "approx":[{"tol":4,"queries":32,"exact_matches":100,"candidates":120,"missed":0,"max_err":8,"err_budget":12,
+			             "updates":256,"rejected":3,"base_update_uj":100,"flip_update_uj":1,"update_energy_x":100,
+			             "base_query_uj":10,"flip_query_uj":2,"query_energy_x":5,"base_erases":250,"flip_erases":0}]}`},
+		{"inflash below 3x at selective query", "inflash",
+			`{"seed":1,"page_size":256,"banks":4,"keys":2000,"buckets":100,"value_size":24,"stale_updates":100,
+			  "samples":1024,"sample_width":10,
+			  "rows":[{"predicate":"sel=0","selectivity_pct":1,"matches":20,"candidates":22,"false_positives":2,
+			           "senses":1,"pages_sensed":1,"scan_energy_uj":0.2,"host_energy_uj":0.4,"energy_x":2,
+			           "scan_device_ms":1.2,"host_device_ms":2.4,"time_x":2,"equal":true}],
+			  "approx":[{"tol":4,"queries":32,"exact_matches":100,"candidates":120,"missed":0,"max_err":8,"err_budget":12,
+			             "updates":256,"rejected":3,"base_update_uj":100,"flip_update_uj":1,"update_energy_x":100,
+			             "base_query_uj":10,"flip_query_uj":2,"query_energy_x":5,"base_erases":250,"flip_erases":0}]}`},
+		{"inflash no stale bits exercised", "inflash",
+			`{"seed":1,"page_size":256,"banks":4,"keys":2000,"buckets":100,"value_size":24,"stale_updates":100,
+			  "samples":1024,"sample_width":10,
+			  "rows":[{"predicate":"sel=0","selectivity_pct":1,"matches":20,"candidates":20,"false_positives":0,
+			           "senses":1,"pages_sensed":1,"scan_energy_uj":0.01,"host_energy_uj":0.4,"energy_x":40,
+			           "scan_device_ms":0.04,"host_device_ms":2.4,"time_x":40,"equal":true}],
+			  "approx":[{"tol":4,"queries":32,"exact_matches":100,"candidates":120,"missed":0,"max_err":8,"err_budget":12,
+			             "updates":256,"rejected":3,"base_update_uj":100,"flip_update_uj":1,"update_energy_x":100,
+			             "base_query_uj":10,"flip_query_uj":2,"query_energy_x":5,"base_erases":250,"flip_erases":0}]}`},
+		{"inflash approx missed a reading", "inflash",
+			`{"seed":1,"page_size":256,"banks":4,"keys":2000,"buckets":100,"value_size":24,"stale_updates":100,
+			  "samples":1024,"sample_width":10,
+			  "rows":[{"predicate":"sel=0","selectivity_pct":1,"matches":20,"candidates":22,"false_positives":2,
+			           "senses":1,"pages_sensed":1,"scan_energy_uj":0.01,"host_energy_uj":0.4,"energy_x":40,
+			           "scan_device_ms":0.04,"host_device_ms":2.4,"time_x":40,"equal":true}],
+			  "approx":[{"tol":4,"queries":32,"exact_matches":100,"candidates":120,"missed":1,"max_err":8,"err_budget":12,
+			             "updates":256,"rejected":3,"base_update_uj":100,"flip_update_uj":1,"update_energy_x":100,
+			             "base_query_uj":10,"flip_query_uj":2,"query_energy_x":5,"base_erases":250,"flip_erases":0}]}`},
+		{"inflash refresh path erased", "inflash",
+			`{"seed":1,"page_size":256,"banks":4,"keys":2000,"buckets":100,"value_size":24,"stale_updates":100,
+			  "samples":1024,"sample_width":10,
+			  "rows":[{"predicate":"sel=0","selectivity_pct":1,"matches":20,"candidates":22,"false_positives":2,
+			           "senses":1,"pages_sensed":1,"scan_energy_uj":0.01,"host_energy_uj":0.4,"energy_x":40,
+			           "scan_device_ms":0.04,"host_device_ms":2.4,"time_x":40,"equal":true}],
+			  "approx":[{"tol":4,"queries":32,"exact_matches":100,"candidates":120,"missed":0,"max_err":8,"err_budget":12,
+			             "updates":256,"rejected":3,"base_update_uj":100,"flip_update_uj":2,"update_energy_x":50,
+			             "base_query_uj":10,"flip_query_uj":2,"query_energy_x":5,"base_erases":250,"flip_erases":4}]}`},
 		{"encode e2e regression", "encode",
 			`{"seed":1,"span_bytes":4096,"e2e_ops":100,"e2e_scalar_ns_per_op":100,"e2e_kernel_ns_per_op":200,
 			  "e2e_speedup":0.5,"stats_match":true,

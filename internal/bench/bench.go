@@ -141,6 +141,7 @@ func Registry() []Experiment {
 		{"transient", "transient-fault campaign: verify-retry-retire and retention repair", ExpTransient},
 		{"lifetime", "writes to first data loss: unmanaged vs endurance-managed", ExpLifetime},
 		{"kvscale", "store at scale: GC under load, space amplification, O(tail) mount", ExpKVScale},
+		{"inflash", "in-flash predicate pushdown and approximate search vs host scans", ExpInflash},
 	}
 }
 

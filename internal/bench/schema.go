@@ -23,12 +23,13 @@ var artifactSchemas = map[string]func(doc map[string]any) error{
 	"lifetime":      validateLifetime,
 	"encode":        validateEncode,
 	"kvscale":       validateKVScale,
+	"inflash":       validateInflash,
 }
 
 // ArtifactKinds lists every artifact stem a repo checkout is expected to
 // carry, in a stable order.
 func ArtifactKinds() []string {
-	return []string{"writepath", "crashcampaign", "transient", "lifetime", "encode", "kvscale"}
+	return []string{"writepath", "crashcampaign", "transient", "lifetime", "encode", "kvscale", "inflash"}
 }
 
 // ValidateArtifact parses data as the named artifact kind (a stem from
@@ -436,6 +437,108 @@ func validateKVScale(doc map[string]any) error {
 	// checkpointed mount is at least 10× faster (device time) than the scan.
 	if speedupAtMax < 10 {
 		return fmt.Errorf("mount_speedup at %d keys is %.2f, want >= 10", int(maxKeys), speedupAtMax)
+	}
+	return nil
+}
+
+func validateInflash(doc map[string]any) error {
+	for _, f := range []string{"seed", "page_size", "banks", "keys", "buckets", "value_size",
+		"stale_updates", "samples", "sample_width"} {
+		if _, err := num(doc, f); err != nil {
+			return err
+		}
+	}
+	rs, err := rows(doc)
+	if err != nil {
+		return err
+	}
+	if err := requireNums(rs, "selectivity_pct", "matches", "candidates", "false_positives",
+		"senses", "pages_sensed", "scan_energy_uj", "host_energy_uj", "energy_x",
+		"scan_device_ms", "host_device_ms", "time_x"); err != nil {
+		return err
+	}
+	stale := 0.0
+	for i, r := range rs {
+		if _, ok := r["predicate"].(string); !ok {
+			return fmt.Errorf("rows[%d]: missing predicate", i)
+		}
+		// Invariant: the pushdown path returned exactly the host-scan results
+		// — the speedup claim is void on a path that loses or invents matches.
+		eq, ok := r["equal"].(bool)
+		if !ok {
+			return fmt.Errorf("rows[%d]: missing equal flag", i)
+		}
+		if !eq {
+			return fmt.Errorf("rows[%d] (%v): pushdown and host scans diverged", i, r["predicate"])
+		}
+		if s, _ := num(r, "senses"); s == 0 {
+			return fmt.Errorf("rows[%d] (%v): no senses; the scan was not served in-flash", i, r["predicate"])
+		}
+		m, _ := num(r, "matches")
+		c, _ := num(r, "candidates")
+		if c < m {
+			return fmt.Errorf("rows[%d] (%v): %v candidates for %v matches; the plan was not a superset", i, r["predicate"], c, m)
+		}
+		sel, _ := num(r, "selectivity_pct")
+		ex, _ := num(r, "energy_x")
+		// Invariants: the tentpole claim — at least a 3× device-energy win at
+		// selective queries, and never a regression even at 50%.
+		if sel <= 10 && ex < 3 {
+			return fmt.Errorf("rows[%d]: energy_x %.2f at %.0f%% selectivity, want >= 3", i, ex, sel)
+		}
+		if ex <= 1 {
+			return fmt.Errorf("rows[%d]: energy_x %.2f; pushdown costs more than reading everything", i, ex)
+		}
+		fp, _ := num(r, "false_positives")
+		stale += fp
+	}
+	// Invariant: the workload re-bucketed keys, so stale index bits must have
+	// surfaced (and been filtered) somewhere — else the soundness machinery
+	// under test never ran.
+	if stale == 0 {
+		return fmt.Errorf("no stale-bit false positives across rows; the re-check path went unexercised")
+	}
+	v, ok := doc["approx"]
+	if !ok {
+		return fmt.Errorf("missing field %q", "approx")
+	}
+	arr, ok := v.([]any)
+	if !ok || len(arr) == 0 {
+		return fmt.Errorf("field %q must be a non-empty array", "approx")
+	}
+	for i, e := range arr {
+		r, ok := e.(map[string]any)
+		if !ok {
+			return fmt.Errorf("approx[%d] is %T, want object", i, e)
+		}
+		for _, f := range []string{"tol", "queries", "exact_matches", "candidates", "missed",
+			"max_err", "err_budget", "updates", "rejected", "base_update_uj", "flip_update_uj",
+			"update_energy_x", "base_query_uj", "flip_query_uj", "query_energy_x",
+			"base_erases", "flip_erases"} {
+			if _, err := num(r, f); err != nil {
+				return fmt.Errorf("approx[%d]: %w", i, err)
+			}
+		}
+		// Invariants: bounded-error search — no intended reading missed, the
+		// observed error inside its budget, refreshes erase-free, and both
+		// energy comparisons in FlipBit's favour.
+		if m, _ := num(r, "missed"); m != 0 {
+			return fmt.Errorf("approx[%d]: %v intended readings missed; the widened window lost matches", i, m)
+		}
+		me, _ := num(r, "max_err")
+		eb, _ := num(r, "err_budget")
+		if me > eb {
+			return fmt.Errorf("approx[%d]: max_err %v exceeds budget %v", i, me, eb)
+		}
+		if fe, _ := num(r, "flip_erases"); fe != 0 {
+			return fmt.Errorf("approx[%d]: %v erases on the erase-free refresh path", i, fe)
+		}
+		if ux, _ := num(r, "update_energy_x"); ux < 5 {
+			return fmt.Errorf("approx[%d]: update_energy_x %.2f, want >= 5", i, ux)
+		}
+		if qx, _ := num(r, "query_energy_x"); qx <= 1 {
+			return fmt.Errorf("approx[%d]: query_energy_x %.2f; in-flash search did not beat read-all", i, qx)
+		}
 	}
 	return nil
 }

@@ -43,6 +43,8 @@ type Stats struct {
 	ProgramFails    uint64 // byte programs that failed verify transiently
 	EraseFails      uint64 // page erases that failed verify transiently
 	Waits           uint64 // retry backoff intervals charged to the busy ledger
+	Senses          uint64 // multi-page bitwise senses (charged once per sense)
+	PagesSensed     uint64 // wordlines covered by those senses
 
 	Energy energy.Energy
 	Busy   time.Duration
@@ -60,6 +62,8 @@ func (s Stats) Add(o Stats) Stats {
 		ProgramFails:    s.ProgramFails + o.ProgramFails,
 		EraseFails:      s.EraseFails + o.EraseFails,
 		Waits:           s.Waits + o.Waits,
+		Senses:          s.Senses + o.Senses,
+		PagesSensed:     s.PagesSensed + o.PagesSensed,
 		Energy:          s.Energy + o.Energy,
 		Busy:            s.Busy + o.Busy,
 	}
@@ -77,6 +81,8 @@ func (s Stats) Sub(o Stats) Stats {
 		ProgramFails:    s.ProgramFails - o.ProgramFails,
 		EraseFails:      s.EraseFails - o.EraseFails,
 		Waits:           s.Waits - o.Waits,
+		Senses:          s.Senses - o.Senses,
+		PagesSensed:     s.PagesSensed - o.PagesSensed,
 		Energy:          s.Energy - o.Energy,
 		Busy:            s.Busy - o.Busy,
 	}
@@ -184,6 +190,15 @@ func NewDevice(spec Spec) (*Device, error) {
 	}
 	if spec.Banks > spec.NumPages {
 		spec.Banks = spec.NumPages
+	}
+	if spec.SenseLatency == 0 {
+		spec.SenseLatency = 2 * spec.ReadLatency
+	}
+	if spec.SenseEnergy == 0 {
+		spec.SenseEnergy = 2 * spec.ReadEnergy
+	}
+	if spec.MaxSensePages == 0 {
+		spec.MaxSensePages = DefaultMaxSensePages
 	}
 	d := &Device{
 		spec:    spec,

@@ -84,8 +84,9 @@ func (k FaultKind) transient() bool {
 
 // appliesTo reports whether an op of kind op advances (and can trip) a fault
 // of kind k. Power loss stalks state-changing operations, stuck bits ride on
-// erases, read disturb on reads. Skipped programs never count — no pulse, no
-// fault, matching the original one-shot semantics.
+// erases, read disturb and retention on reads — including multi-page senses,
+// which stress wordlines exactly like reads do. Skipped programs never count
+// — no pulse, no fault, matching the original one-shot semantics.
 func (k FaultKind) appliesTo(op OpKind) bool {
 	switch k {
 	case FaultPowerLoss:
@@ -93,13 +94,13 @@ func (k FaultKind) appliesTo(op OpKind) bool {
 	case FaultStuckBits:
 		return op == OpErase
 	case FaultReadDisturb:
-		return op == OpRead
+		return op == OpRead || op == OpSense
 	case FaultTransientProgram:
 		return op == OpProgram
 	case FaultTransientErase:
 		return op == OpErase
 	case FaultRetention:
-		return op == OpRead
+		return op == OpRead || op == OpSense
 	}
 	return false
 }

@@ -21,6 +21,7 @@ const (
 	OpProgramFail               // a program pulse that failed verify transiently (full cost, bits short of target)
 	OpEraseFail                 // an erase pulse that failed verify transiently (full cost, wear still taken)
 	OpWait                      // a retry backoff interval charged to the busy ledger
+	OpSense                     // one multi-page bitwise sense (Pages wordlines, page-sized result)
 
 	// opKindCount sizes per-kind accumulator arrays; keep it last.
 	opKindCount
@@ -46,6 +47,8 @@ func (k OpKind) String() string {
 		return "erase-fail"
 	case OpWait:
 		return "wait"
+	case OpSense:
+		return "sense"
 	}
 	return "unknown"
 }
@@ -72,8 +75,13 @@ type OpEvent struct {
 
 	// Bytes is the number of bytes the operation covered: the read
 	// length for OpRead, the programmed (or skipped) byte count for
-	// programs, and the page size for erases.
+	// programs, and the page size for erases and senses.
 	Bytes int
+
+	// Pages is the number of wordlines a multi-page sense activated
+	// simultaneously (OpSense only). The sense's cost covers the whole
+	// operation, however many pages participated.
+	Pages int
 
 	// Value is the programmed value (per-byte OpProgram only).
 	Value byte
@@ -215,6 +223,9 @@ func (s *statsShard) apply(ev OpEvent) {
 		s.EraseFails++
 	case OpWait:
 		s.Waits++
+	case OpSense:
+		s.Senses++
+		s.PagesSensed += uint64(ev.Pages)
 	}
 	s.energyKind[ev.Kind] += ev.Energy
 	s.Busy += ev.Busy

@@ -84,6 +84,17 @@ type Spec struct {
 	ProgramEnergy energy.Energy // one byte
 	EraseEnergy   energy.Energy // one page
 
+	// In-storage compute: a multi-wordline bitwise sense (SenseMulti) reads
+	// the AND/OR of several pages in one array operation, so its cost is
+	// charged once per simultaneous sense — not once per participating page.
+	// The defaults model Flash-Cosmos-style sensing: about twice a plain
+	// read per byte (stronger precharge, tighter sense margin), bounded to
+	// MaxSensePages wordlines activated together. Zero values select the
+	// defaults in NewDevice; negative values are rejected by Validate.
+	SenseLatency  time.Duration // one simultaneous sense, per byte of the page
+	SenseEnergy   energy.Energy // one simultaneous sense, per byte of the page
+	MaxSensePages int           // max pages sensed simultaneously (0 → DefaultMaxSensePages)
+
 	// Endurance: program/erase cycles a page survives before wearing out
 	// (typically 10,000–1,000,000; §II-B).
 	EnduranceCycles uint32
@@ -111,11 +122,16 @@ func DefaultSpec() Spec {
 		ReadEnergy:      eraseEnergy / 360 / 1e5,
 		ProgramEnergy:   eraseEnergy / 360,
 		EraseEnergy:     eraseEnergy,
+		SenseLatency:    2 * (30*time.Nanosecond + 300*time.Nanosecond/1000),
+		SenseEnergy:     2 * eraseEnergy / 360 / 1e5,
+		MaxSensePages:   DefaultMaxSensePages,
 		EnduranceCycles: 100_000,
 	}
 }
 
-// Validate reports whether the spec is internally consistent.
+// Validate reports whether the spec is internally consistent. It is called
+// by NewDevice, so a malformed spec fails up front with a description of the
+// problem instead of deep inside the bank split.
 func (s Spec) Validate() error {
 	switch {
 	case s.PageSize <= 0:
@@ -128,10 +144,34 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("flash: operation latencies must be positive")
 	case s.ReadEnergy <= 0 || s.ProgramEnergy <= 0 || s.EraseEnergy <= 0:
 		return fmt.Errorf("flash: operation energies must be positive")
+	case s.SenseLatency < 0 || s.SenseEnergy < 0:
+		return fmt.Errorf("flash: sense latency and energy must not be negative")
+	case s.MaxSensePages < 0:
+		return fmt.Errorf("flash: MaxSensePages must not be negative, got %d", s.MaxSensePages)
 	case s.EnduranceCycles == 0:
 		return fmt.Errorf("flash: endurance must be positive")
 	}
+	// Pages interleave across banks round-robin; an uneven split would give
+	// some banks one page more than others, skewing every per-bank layout
+	// computation (bitmap strides, campaign page draws) silently.
+	if nb := s.effectiveBanks(); s.NumPages%nb != 0 {
+		return fmt.Errorf("flash: page count %d is not divisible by bank count %d", s.NumPages, nb)
+	}
 	return nil
+}
+
+// effectiveBanks returns the bank count the device will actually operate:
+// zero selects DefaultBanks and the result is clamped to the page count,
+// mirroring the normalisation NewDevice applies.
+func (s Spec) effectiveBanks() int {
+	b := s.Banks
+	if b == 0 {
+		b = DefaultBanks
+	}
+	if b > s.NumPages {
+		b = s.NumPages
+	}
+	return b
 }
 
 // Size returns the total capacity in bytes.

@@ -1,0 +1,452 @@
+package isc
+
+import (
+	"fmt"
+
+	"github.com/flipbit-sim/flipbit/internal/flash"
+)
+
+// Field names one indexed attribute and how many buckets its values hash
+// or quantise into. Every (field, bucket) pair owns one membership bitmap.
+type Field struct {
+	Name    string
+	Buckets int
+}
+
+// IndexConfig describes an Index: device geometry, the page region the
+// bitmaps live in, the slot capacity and the indexed fields.
+type IndexConfig struct {
+	PageSize      int // device page size in bytes
+	Banks         int // device bank count (pages interleave p % Banks)
+	MaxSensePages int // device limit on wordlines per simultaneous sense
+
+	FirstPage int // first page of the bitmap region
+	Slots     int // record slots each bitmap covers
+	Fields    []Field
+}
+
+// totalBuckets sums the bucket counts across fields.
+func (c IndexConfig) totalBuckets() int {
+	n := 0
+	for _, f := range c.Fields {
+		n += f.Buckets
+	}
+	return n
+}
+
+// Pages returns how many flash pages the index region occupies, so callers
+// can carve the region before constructing the index.
+func (c IndexConfig) Pages() int {
+	lay := newBitmapLayout(c.Slots, c.PageSize, c.Banks, c.FirstPage)
+	return lay.requiredPages(c.totalBuckets())
+}
+
+// Validate rejects malformed configurations.
+func (c IndexConfig) Validate() error {
+	if err := checkGeometry(c.PageSize, c.Banks, c.MaxSensePages, c.FirstPage, c.Slots); err != nil {
+		return err
+	}
+	if len(c.Fields) == 0 {
+		return fmt.Errorf("%w: no fields", ErrConfig)
+	}
+	seen := map[string]bool{}
+	for _, f := range c.Fields {
+		switch {
+		case f.Name == "":
+			return fmt.Errorf("%w: empty field name", ErrConfig)
+		case f.Buckets <= 0:
+			return fmt.Errorf("%w: field %q has %d buckets", ErrConfig, f.Name, f.Buckets)
+		case seen[f.Name]:
+			return fmt.Errorf("%w: duplicate field %q", ErrConfig, f.Name)
+		}
+		seen[f.Name] = true
+	}
+	return nil
+}
+
+// Index is a set of per-bucket membership bitmaps over record slots,
+// stored inverted (0 = member) so additions are erase-free programs and
+// membership is read with an inverted sense. Queries are predicate trees
+// lowered onto batched multi-page senses; the host never reads a bitmap
+// page on the in-flash path.
+type Index struct {
+	dev Device
+	cfg IndexConfig
+	lay bitmapLayout
+
+	fieldOff map[string]Field // Buckets reused as count; offset stored separately
+	offsets  map[string]int   // field name → first global bucket
+
+	// shadow mirrors the bitmap region so maintenance can compute the
+	// post-program byte without a read (controller RAM metadata, exactly
+	// like the page map an FTL keeps).
+	shadow []byte
+
+	// scratch is a free-list of page-sized buffers for the recursive
+	// planner; senseP/senseI batch leaf pages for one SenseMulti call.
+	scratch [][]byte
+	senseP  []int
+	senseI  []bool
+}
+
+// NewIndex builds an index over a carved region. The region's pages are
+// assumed erased or previously index-owned; call Reset to (re)initialise.
+func NewIndex(dev Device, cfg IndexConfig) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		dev:      dev,
+		cfg:      cfg,
+		lay:      newBitmapLayout(cfg.Slots, cfg.PageSize, cfg.Banks, cfg.FirstPage),
+		fieldOff: map[string]Field{},
+		offsets:  map[string]int{},
+		senseP:   make([]int, 0, cfg.MaxSensePages),
+		senseI:   make([]bool, 0, cfg.MaxSensePages),
+	}
+	off := 0
+	for _, f := range cfg.Fields {
+		ix.fieldOff[f.Name] = f
+		ix.offsets[f.Name] = off
+		off += f.Buckets
+	}
+	ix.shadow = make([]byte, ix.lay.requiredPages(off)*cfg.PageSize)
+	for i := range ix.shadow {
+		ix.shadow[i] = 0xFF
+	}
+	return ix, nil
+}
+
+// Pages returns the size of the index region in flash pages.
+func (ix *Index) Pages() int { return ix.lay.requiredPages(ix.cfg.totalBuckets()) }
+
+// BitmapBytes returns the length Query result buffers must have.
+func (ix *Index) BitmapBytes() int { return ix.lay.bytes }
+
+// Slots returns the slot capacity.
+func (ix *Index) Slots() int { return ix.cfg.Slots }
+
+// Reset erases the whole bitmap region, emptying every bucket.
+func (ix *Index) Reset() error {
+	for p := 0; p < ix.Pages(); p++ {
+		if err := ix.dev.ErasePage(ix.cfg.FirstPage + p); err != nil {
+			return err
+		}
+	}
+	for i := range ix.shadow {
+		ix.shadow[i] = 0xFF
+	}
+	return nil
+}
+
+// globalBucket resolves (field, bucket) to a bitmap number.
+func (ix *Index) globalBucket(field string, bucket int) (int, error) {
+	f, ok := ix.fieldOff[field]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownField, field)
+	}
+	if bucket < 0 || bucket >= f.Buckets {
+		return 0, fmt.Errorf("%w: %q bucket %d of %d", ErrBucketRange, field, bucket, f.Buckets)
+	}
+	return ix.offsets[field] + bucket, nil
+}
+
+// Add marks slot as a member of (field, bucket) by programming its bit to
+// 0 — always erase-free, and idempotent (re-adding is a no-op). Stale
+// members from updated or deleted records are expected; they surface as
+// false positives the caller filters with Eval on the fetched record.
+func (ix *Index) Add(slot int, field string, bucket int) error {
+	if slot < 0 || slot >= ix.cfg.Slots {
+		return fmt.Errorf("%w: slot %d of %d", ErrSlotRange, slot, ix.cfg.Slots)
+	}
+	g, err := ix.globalBucket(field, bucket)
+	if err != nil {
+		return err
+	}
+	byteIdx := slot / 8
+	c := byteIdx / ix.cfg.PageSize
+	off := byteIdx % ix.cfg.PageSize
+	page := ix.lay.page(g, c)
+	shOff := (page-ix.cfg.FirstPage)*ix.cfg.PageSize + off
+	nv := ix.shadow[shOff] &^ (1 << (slot % 8))
+	if nv == ix.shadow[shOff] {
+		return nil // already a member
+	}
+	if err := ix.dev.ProgramByte(page*ix.cfg.PageSize+off, nv); err != nil {
+		return err
+	}
+	ix.shadow[shOff] = nv
+	return nil
+}
+
+// Query evaluates the predicate entirely in flash and writes the matching
+// slots into dst (1 = match, conventional polarity, length BitmapBytes).
+// The device is charged one sense per leaf batch — never a page read.
+func (ix *Index) Query(p Pred, dst []byte) error {
+	if len(dst) != ix.lay.bytes {
+		return fmt.Errorf("%w: got %d, want %d", ErrBitmapSize, len(dst), ix.lay.bytes)
+	}
+	if err := ix.checkPred(p); err != nil {
+		return err
+	}
+	buf := ix.getBuf()
+	defer ix.putBuf(buf)
+	for c := 0; c < ix.lay.chunkPages; c++ {
+		if err := ix.evalFlash(p, c, buf); err != nil {
+			return err
+		}
+		copy(dst[c*ix.cfg.PageSize:], buf[:ix.lay.chunkLen(c)])
+	}
+	maskTail(dst, ix.cfg.Slots)
+	return nil
+}
+
+// QueryHost evaluates the same predicate with plain host reads of the
+// bitmap pages — the read-everything baseline and the oracle the in-flash
+// plans are tested against.
+func (ix *Index) QueryHost(p Pred, dst []byte) error {
+	if len(dst) != ix.lay.bytes {
+		return fmt.Errorf("%w: got %d, want %d", ErrBitmapSize, len(dst), ix.lay.bytes)
+	}
+	if err := ix.checkPred(p); err != nil {
+		return err
+	}
+	buf := ix.getBuf()
+	defer ix.putBuf(buf)
+	for c := 0; c < ix.lay.chunkPages; c++ {
+		n := ix.lay.chunkLen(c)
+		if err := ix.evalHost(p, c, buf[:n]); err != nil {
+			return err
+		}
+		copy(dst[c*ix.cfg.PageSize:], buf[:n])
+	}
+	maskTail(dst, ix.cfg.Slots)
+	return nil
+}
+
+// checkPred validates every leaf against the schema up front, so plans
+// never fail half-evaluated.
+func (ix *Index) checkPred(p Pred) error {
+	var err error
+	walk(p, func(n Pred) {
+		if eq, ok := n.(predEq); ok && err == nil {
+			_, err = ix.globalBucket(eq.field, eq.bucket)
+		}
+	})
+	return err
+}
+
+func (ix *Index) getBuf() []byte {
+	if n := len(ix.scratch); n > 0 {
+		b := ix.scratch[n-1]
+		ix.scratch = ix.scratch[:n-1]
+		return b
+	}
+	return make([]byte, ix.cfg.PageSize)
+}
+
+func (ix *Index) putBuf(b []byte) { ix.scratch = append(ix.scratch, b) }
+
+// evalFlash computes the membership bitmap of p for chunk c into out (one
+// page), using in-flash senses only.
+//
+// The lowering rests on the inverted storage: for a leaf with stored page
+// P, membership is M = ¬P, so AND(M₁..Mₖ) = SenseAND over the pages with
+// every reference inverted, and OR(M₁..Mₖ) = SenseOR likewise — one sense
+// for up to MaxSensePages leaves. A negated leaf is the stored page itself
+// (¬M = P), so it joins the same batch with its invert flag cleared.
+// Non-leaf children are evaluated recursively and folded host-side.
+func (ix *Index) evalFlash(p Pred, c int, out []byte) error {
+	switch n := p.(type) {
+	case predEq:
+		g, _ := ix.globalBucket(n.field, n.bucket)
+		ix.senseP = append(ix.senseP[:0], ix.lay.page(g, c))
+		ix.senseI = append(ix.senseI[:0], true)
+		return ix.dev.SenseMulti(flash.SenseAND, ix.senseP, ix.senseI, out)
+	case predNot:
+		if eq, ok := n.kid.(predEq); ok {
+			g, _ := ix.globalBucket(eq.field, eq.bucket)
+			ix.senseP = append(ix.senseP[:0], ix.lay.page(g, c))
+			ix.senseI = append(ix.senseI[:0], false)
+			return ix.dev.SenseMulti(flash.SenseAND, ix.senseP, ix.senseI, out)
+		}
+		if err := ix.evalFlash(n.kid, c, out); err != nil {
+			return err
+		}
+		for i := range out {
+			out[i] = ^out[i]
+		}
+		return nil
+	case predAnd:
+		return ix.evalGroup(flash.SenseAND, n.kids, c, out)
+	case predOr:
+		return ix.evalGroup(flash.SenseOR, n.kids, c, out)
+	}
+	return fmt.Errorf("isc: unknown predicate node %T", p)
+}
+
+// evalGroup lowers one And/Or node: leaves are batched into senses of up
+// to MaxSensePages pages, subtrees recurse, and partial results fold into
+// out with the node's operator.
+func (ix *Index) evalGroup(op flash.SenseOp, kids []Pred, c int, out []byte) error {
+	identity := byte(0xFF)
+	if op == flash.SenseOR {
+		identity = 0
+	}
+	for i := range out {
+		out[i] = identity
+	}
+	first := true
+	flush := func(dst []byte) error {
+		err := ix.dev.SenseMulti(op, ix.senseP, ix.senseI, dst)
+		ix.senseP = ix.senseP[:0]
+		ix.senseI = ix.senseI[:0]
+		return err
+	}
+	fold := func(part []byte) {
+		if op == flash.SenseAND {
+			for i := range out {
+				out[i] &= part[i]
+			}
+		} else {
+			for i := range out {
+				out[i] |= part[i]
+			}
+		}
+	}
+	ix.senseP = ix.senseP[:0]
+	ix.senseI = ix.senseI[:0]
+	var sub []Pred
+	for _, k := range kids {
+		page, inv, leaf := ix.leafPage(k, c)
+		if !leaf {
+			sub = append(sub, k)
+			continue
+		}
+		ix.senseP = append(ix.senseP, page)
+		ix.senseI = append(ix.senseI, inv)
+		if len(ix.senseP) == ix.cfg.MaxSensePages {
+			if first {
+				if err := flush(out); err != nil {
+					return err
+				}
+				first = false
+				continue
+			}
+			buf := ix.getBuf()
+			err := flush(buf)
+			if err == nil {
+				fold(buf)
+			}
+			ix.putBuf(buf)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if len(ix.senseP) > 0 {
+		if first {
+			if err := flush(out); err != nil {
+				return err
+			}
+			first = false
+		} else {
+			buf := ix.getBuf()
+			err := flush(buf)
+			if err == nil {
+				fold(buf)
+			}
+			ix.putBuf(buf)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	for _, k := range sub {
+		buf := ix.getBuf()
+		err := ix.evalFlash(k, c, buf)
+		if err == nil {
+			if first {
+				copy(out, buf)
+				first = false
+			} else {
+				fold(buf)
+			}
+		}
+		ix.putBuf(buf)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// leafPage reports whether k lowers to a single sensed page in chunk c:
+// an equality leaf (inverted reference) or its negation (plain reference).
+func (ix *Index) leafPage(k Pred, c int) (page int, invert, ok bool) {
+	switch n := k.(type) {
+	case predEq:
+		g, _ := ix.globalBucket(n.field, n.bucket)
+		return ix.lay.page(g, c), true, true
+	case predNot:
+		if eq, isEq := n.kid.(predEq); isEq {
+			g, _ := ix.globalBucket(eq.field, eq.bucket)
+			return ix.lay.page(g, c), false, true
+		}
+	}
+	return 0, false, false
+}
+
+// evalHost mirrors evalFlash with host reads; out is chunkLen(c) bytes.
+func (ix *Index) evalHost(p Pred, c int, out []byte) error {
+	switch n := p.(type) {
+	case predEq:
+		g, _ := ix.globalBucket(n.field, n.bucket)
+		if err := ix.dev.Read(ix.lay.page(g, c)*ix.cfg.PageSize, out); err != nil {
+			return err
+		}
+		for i := range out {
+			out[i] = ^out[i]
+		}
+		return nil
+	case predNot:
+		if err := ix.evalHost(n.kid, c, out); err != nil {
+			return err
+		}
+		for i := range out {
+			out[i] = ^out[i]
+		}
+		return nil
+	case predAnd, predOr:
+		var kids []Pred
+		identity := byte(0xFF)
+		and := true
+		if a, ok := n.(predAnd); ok {
+			kids = a.kids
+		} else {
+			kids = n.(predOr).kids
+			identity = 0
+			and = false
+		}
+		for i := range out {
+			out[i] = identity
+		}
+		buf := ix.getBuf()
+		defer ix.putBuf(buf)
+		part := buf[:len(out)]
+		for _, k := range kids {
+			if err := ix.evalHost(k, c, part); err != nil {
+				return err
+			}
+			for i := range out {
+				if and {
+					out[i] &= part[i]
+				} else {
+					out[i] |= part[i]
+				}
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("isc: unknown predicate node %T", p)
+}

@@ -1,0 +1,385 @@
+package isc
+
+import (
+	"fmt"
+
+	"github.com/flipbit-sim/flipbit/internal/flash"
+)
+
+// PlaneConfig describes a PlaneStore: device geometry, the carved page
+// region, the sample capacity and the sample width in bits.
+type PlaneConfig struct {
+	PageSize      int
+	Banks         int
+	MaxSensePages int
+
+	FirstPage int
+	Slots     int // samples the store holds
+	Width     int // bits per sample (1..16)
+}
+
+// Pages returns the region size in flash pages (Width bit-plane bitmaps).
+func (c PlaneConfig) Pages() int {
+	lay := newBitmapLayout(c.Slots, c.PageSize, c.Banks, c.FirstPage)
+	return lay.requiredPages(c.Width)
+}
+
+// Validate rejects malformed configurations.
+func (c PlaneConfig) Validate() error {
+	if err := checkGeometry(c.PageSize, c.Banks, c.MaxSensePages, c.FirstPage, c.Slots); err != nil {
+		return err
+	}
+	if c.Width < 1 || c.Width > 16 {
+		return fmt.Errorf("%w: width %d (want 1..16)", ErrConfig, c.Width)
+	}
+	return nil
+}
+
+// PlaneStore holds W-bit samples bit-planar: plane j is a bitmap whose
+// slot-th bit is bit j of sample slot. An erased region therefore reads as
+// every sample at full scale (all bits 1), and — because flash programs
+// only clear bits — an in-place update can only remove bits from a stored
+// value. SetApprox embraces that FlipBit-style: it stores the nearest
+// reachable value within an error budget instead of paying an erase, and
+// the store tracks the worst error so searches can widen their window and
+// never miss a sample (bounded-error approximate search).
+//
+// Searches are in-flash: equality is a single sense across all planes
+// (reference inverted where the target bit is 0), and a range decomposes
+// into at most 2·Width binary prefixes, each one sense.
+type PlaneStore struct {
+	dev Device
+	cfg PlaneConfig
+	lay bitmapLayout
+
+	shadow   []byte // mirror of the plane region (controller RAM)
+	vals     []int  // stored value per slot
+	assigned []byte // bitmap: slot holds a sample (erased slots read full-scale)
+	maxErr   int    // worst |intended - stored| accepted so far
+
+	scratch [][]byte
+	senseP  []int
+	senseI  []bool
+}
+
+// NewPlaneStore builds a store over a carved region; call Reset to
+// (re)initialise the planes.
+func NewPlaneStore(dev Device, cfg PlaneConfig) (*PlaneStore, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lay := newBitmapLayout(cfg.Slots, cfg.PageSize, cfg.Banks, cfg.FirstPage)
+	ps := &PlaneStore{
+		dev:      dev,
+		cfg:      cfg,
+		lay:      lay,
+		shadow:   make([]byte, lay.requiredPages(cfg.Width)*cfg.PageSize),
+		vals:     make([]int, cfg.Slots),
+		assigned: make([]byte, lay.bytes),
+		senseP:   make([]int, 0, cfg.MaxSensePages),
+		senseI:   make([]bool, 0, cfg.MaxSensePages),
+	}
+	ps.resetShadow()
+	return ps, nil
+}
+
+func (ps *PlaneStore) resetShadow() {
+	for i := range ps.shadow {
+		ps.shadow[i] = 0xFF
+	}
+	full := 1<<ps.cfg.Width - 1
+	for i := range ps.vals {
+		ps.vals[i] = full
+	}
+	for i := range ps.assigned {
+		ps.assigned[i] = 0
+	}
+	ps.maxErr = 0
+}
+
+// Pages returns the region size in flash pages.
+func (ps *PlaneStore) Pages() int { return ps.lay.requiredPages(ps.cfg.Width) }
+
+// BitmapBytes returns the length match result buffers must have.
+func (ps *PlaneStore) BitmapBytes() int { return ps.lay.bytes }
+
+// MaxObservedError returns the worst |intended − stored| any SetApprox has
+// accepted — the widening margin proximity searches use.
+func (ps *PlaneStore) MaxObservedError() int { return ps.maxErr }
+
+// Value returns the stored value of a slot and whether it is assigned.
+func (ps *PlaneStore) Value(slot int) (int, bool) {
+	if slot < 0 || slot >= ps.cfg.Slots {
+		return 0, false
+	}
+	return ps.vals[slot], ps.assigned[slot/8]&(1<<(slot%8)) != 0
+}
+
+// Reset erases the plane region, unassigning every slot.
+func (ps *PlaneStore) Reset() error {
+	for p := 0; p < ps.Pages(); p++ {
+		if err := ps.dev.ErasePage(ps.cfg.FirstPage + p); err != nil {
+			return err
+		}
+	}
+	ps.resetShadow()
+	return nil
+}
+
+// Set stores v exactly. Programs can only clear bits, so v must be a
+// bitwise subset of the slot's current value; otherwise ErrUnreachable is
+// returned (callers wanting a lossy write use SetApprox).
+func (ps *PlaneStore) Set(slot, v int) error {
+	if err := ps.checkSlotVal(slot, v); err != nil {
+		return err
+	}
+	if v&^ps.vals[slot] != 0 {
+		return fmt.Errorf("%w: slot %d holds %#x, want %#x", ErrUnreachable, slot, ps.vals[slot], v)
+	}
+	return ps.program(slot, v)
+}
+
+// SetApprox stores the reachable value nearest to v. If even the best
+// reachable value misses v by more than maxErr, nothing is written and
+// ErrErrorBudget is returned. On success the stored value is returned and
+// the store's observed-error bound is updated, keeping MatchNear exact
+// with respect to intended values.
+func (ps *PlaneStore) SetApprox(slot, v, maxErr int) (int, error) {
+	if err := ps.checkSlotVal(slot, v); err != nil {
+		return 0, err
+	}
+	if maxErr < 0 {
+		return 0, fmt.Errorf("%w: negative error budget %d", ErrConfig, maxErr)
+	}
+	r := nearestSubset(ps.vals[slot], v, ps.cfg.Width)
+	e := r - v
+	if e < 0 {
+		e = -e
+	}
+	if e > maxErr {
+		return 0, fmt.Errorf("%w: nearest reachable %#x misses %#x by %d (budget %d)",
+			ErrErrorBudget, r, v, e, maxErr)
+	}
+	if err := ps.program(slot, r); err != nil {
+		return 0, err
+	}
+	if e > ps.maxErr {
+		ps.maxErr = e
+	}
+	return r, nil
+}
+
+// nearestSubset returns the bitwise subset of cv closest to v (ties break
+// low). Candidates are the greatest subset ≤ v, plus — for every cv bit
+// position i where v is 0 and v's bits above i all lie in cv — the least
+// subset > v obtained by setting bit i over v's prefix: enumerating those
+// raise positions covers every minimal value above v, in O(width) instead
+// of walking 2^popcount(cv) subsets.
+func nearestSubset(cv, v, width int) int {
+	// Greatest subset of cv that is ≤ v: match v's bits from the top while
+	// the prefix is tight; the first position where v has a bit cv lacks
+	// frees every lower cv bit.
+	low, tight := 0, true
+	for i := width - 1; i >= 0; i-- {
+		bit := 1 << i
+		switch {
+		case !tight:
+			low |= cv & bit
+		case v&bit != 0 && cv&bit != 0:
+			low |= bit
+		case v&bit != 0: // v has the bit, cv cannot supply it: fall below
+			tight = false
+		}
+	}
+	best := low
+	bestErr := v - low
+	for i := 0; i < width; i++ {
+		bit := 1 << i
+		if cv&bit == 0 || v&bit != 0 {
+			continue
+		}
+		above := -bit * 2 // mask of positions > i
+		if v&above&^cv != 0 {
+			continue // v's prefix above i is not representable
+		}
+		cand := v&above | bit
+		if e := cand - v; e < bestErr {
+			best, bestErr = cand, e
+		}
+	}
+	return best
+}
+
+// program clears the plane bits taking the slot from its current value to
+// r (a verified subset) and updates the mirrors.
+func (ps *PlaneStore) program(slot, r int) error {
+	cv := ps.vals[slot]
+	byteIdx := slot / 8
+	c := byteIdx / ps.cfg.PageSize
+	off := byteIdx % ps.cfg.PageSize
+	for j := 0; j < ps.cfg.Width; j++ {
+		bit := 1 << j
+		if cv&bit == 0 || r&bit != 0 {
+			continue // plane bit already clear, or staying set
+		}
+		page := ps.lay.page(j, c)
+		shOff := (page-ps.cfg.FirstPage)*ps.cfg.PageSize + off
+		nv := ps.shadow[shOff] &^ (1 << (slot % 8))
+		if err := ps.dev.ProgramByte(page*ps.cfg.PageSize+off, nv); err != nil {
+			return err
+		}
+		ps.shadow[shOff] = nv
+	}
+	ps.vals[slot] = r
+	ps.assigned[byteIdx] |= 1 << (slot % 8)
+	return nil
+}
+
+func (ps *PlaneStore) checkSlotVal(slot, v int) error {
+	if slot < 0 || slot >= ps.cfg.Slots {
+		return fmt.Errorf("%w: slot %d of %d", ErrSlotRange, slot, ps.cfg.Slots)
+	}
+	if v < 0 || v >= 1<<ps.cfg.Width {
+		return fmt.Errorf("%w: value %#x exceeds %d bits", ErrConfig, v, ps.cfg.Width)
+	}
+	return nil
+}
+
+// MatchEqual writes the slots whose stored value equals v into dst
+// (1 = match, length BitmapBytes) — one sense per chunk across all planes.
+func (ps *PlaneStore) MatchEqual(v int, dst []byte) error {
+	return ps.MatchRange(v, v, dst)
+}
+
+// MatchRange writes the slots whose stored value lies in [lo, hi] into
+// dst. The interval decomposes into at most 2·Width binary prefixes; each
+// prefix is one multi-plane sense (reference inverted where the prefix bit
+// is 0) and the prefix results are OR-ed host-side. Unassigned slots never
+// match.
+func (ps *PlaneStore) MatchRange(lo, hi int, dst []byte) error {
+	if len(dst) != ps.lay.bytes {
+		return fmt.Errorf("%w: got %d, want %d", ErrBitmapSize, len(dst), ps.lay.bytes)
+	}
+	full := 1<<ps.cfg.Width - 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > full {
+		hi = full
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	if lo > hi {
+		return nil
+	}
+	acc := ps.getBuf()
+	buf := ps.getBuf()
+	defer ps.putBuf(acc)
+	defer ps.putBuf(buf)
+	for c := 0; c < ps.lay.chunkPages; c++ {
+		for i := range acc {
+			acc[i] = 0
+		}
+		for l, h := lo, hi; l <= h; {
+			// Widest aligned block at l that fits in [l, h].
+			free := 0
+			for free < ps.cfg.Width && l&(1<<(free+1)-1) == 0 && l+1<<(free+1)-1 <= h {
+				free++
+			}
+			if err := ps.sensePrefix(l, free, c, buf); err != nil {
+				return err
+			}
+			for i := range acc {
+				acc[i] |= buf[i]
+			}
+			l += 1 << free
+			if l == 0 {
+				break
+			}
+		}
+		n := ps.lay.chunkLen(c)
+		base := c * ps.cfg.PageSize
+		for i := 0; i < n; i++ {
+			dst[base+i] = acc[i] & ps.assigned[base+i]
+		}
+	}
+	maskTail(dst, ps.cfg.Slots)
+	return nil
+}
+
+// MatchNear writes the slots whose INTENDED value was within tol of v: the
+// stored window widens by the observed SetApprox error bound, so a sample
+// written as u with |u − v| ≤ tol can never be missed, whatever the store
+// clamped it to (no false negatives; the extra width only adds false
+// positives the caller can re-check).
+func (ps *PlaneStore) MatchNear(v, tol int, dst []byte) error {
+	if tol < 0 {
+		return fmt.Errorf("%w: negative tolerance %d", ErrConfig, tol)
+	}
+	return ps.MatchRange(v-tol-ps.maxErr, v+tol+ps.maxErr, dst)
+}
+
+// sensePrefix senses the slots whose top Width−free bits equal those of
+// prefix: one SenseAND per batch over the fixed planes, inverted where the
+// prefix bit is 0. A fully free prefix matches everything.
+func (ps *PlaneStore) sensePrefix(prefix, free, c int, out []byte) error {
+	if free >= ps.cfg.Width {
+		for i := range out {
+			out[i] = 0xFF
+		}
+		return nil
+	}
+	ps.senseP = ps.senseP[:0]
+	ps.senseI = ps.senseI[:0]
+	first := true
+	flush := func(dst []byte) error {
+		err := ps.dev.SenseMulti(flash.SenseAND, ps.senseP, ps.senseI, dst)
+		ps.senseP = ps.senseP[:0]
+		ps.senseI = ps.senseI[:0]
+		return err
+	}
+	for j := free; j < ps.cfg.Width; j++ {
+		ps.senseP = append(ps.senseP, ps.lay.page(j, c))
+		ps.senseI = append(ps.senseI, prefix&(1<<j) == 0)
+		if len(ps.senseP) == ps.cfg.MaxSensePages {
+			if err := ps.foldFlush(flush, &first, out); err != nil {
+				return err
+			}
+		}
+	}
+	if len(ps.senseP) > 0 {
+		if err := ps.foldFlush(flush, &first, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// foldFlush lands a sense batch in out, AND-folding after the first.
+func (ps *PlaneStore) foldFlush(flush func([]byte) error, first *bool, out []byte) error {
+	if *first {
+		*first = false
+		return flush(out)
+	}
+	buf := ps.getBuf()
+	defer ps.putBuf(buf)
+	if err := flush(buf); err != nil {
+		return err
+	}
+	for i := range out {
+		out[i] &= buf[i]
+	}
+	return nil
+}
+
+func (ps *PlaneStore) getBuf() []byte {
+	if n := len(ps.scratch); n > 0 {
+		b := ps.scratch[n-1]
+		ps.scratch = ps.scratch[:n-1]
+		return b
+	}
+	return make([]byte, ps.cfg.PageSize)
+}
+
+func (ps *PlaneStore) putBuf(b []byte) { ps.scratch = append(ps.scratch, b) }

@@ -1,0 +1,209 @@
+package isc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pred is a predicate tree over indexed fields: equality leaves combined
+// with And/Or/Not. Build trees with the constructors below; the planner in
+// Index.Query lowers them onto in-flash senses.
+type Pred interface {
+	// String renders the tree for diagnostics.
+	String() string
+	isPred()
+}
+
+type predEq struct {
+	field  string
+	bucket int
+}
+
+type predAnd struct{ kids []Pred }
+type predOr struct{ kids []Pred }
+type predNot struct{ kid Pred }
+
+func (predEq) isPred()  {}
+func (predAnd) isPred() {}
+func (predOr) isPred()  {}
+func (predNot) isPred() {}
+
+func (p predEq) String() string { return fmt.Sprintf("%s=%d", p.field, p.bucket) }
+func (p predNot) String() string {
+	return "not(" + p.kid.String() + ")"
+}
+func (p predAnd) String() string { return joinPreds("and", p.kids) }
+func (p predOr) String() string  { return joinPreds("or", p.kids) }
+
+func joinPreds(op string, kids []Pred) string {
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		parts[i] = k.String()
+	}
+	return op + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Eq matches records whose field falls in the given bucket.
+func Eq(field string, bucket int) Pred { return predEq{field: field, bucket: bucket} }
+
+// In matches records whose field falls in any of the given buckets.
+func In(field string, buckets ...int) Pred {
+	kids := make([]Pred, len(buckets))
+	for i, b := range buckets {
+		kids[i] = predEq{field: field, bucket: b}
+	}
+	if len(kids) == 1 {
+		return kids[0]
+	}
+	return predOr{kids: kids}
+}
+
+// And matches records satisfying every child predicate.
+func And(ps ...Pred) Pred {
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	return predAnd{kids: ps}
+}
+
+// Or matches records satisfying any child predicate.
+func Or(ps ...Pred) Pred {
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	return predOr{kids: ps}
+}
+
+// Not matches records failing the child predicate.
+func Not(p Pred) Pred { return predNot{kid: p} }
+
+// Eval evaluates the predicate for one record given its bucket per field
+// (bucketOf returns the record's bucket, or a negative value for a field
+// the record has no value for — which fails every equality on it). This is
+// the exact per-record semantics the in-flash plans approximate from the
+// index; callers re-check fetched candidates with it to filter stale index
+// bits.
+func Eval(p Pred, bucketOf func(field string) int) bool {
+	switch n := p.(type) {
+	case predEq:
+		return bucketOf(n.field) == n.bucket
+	case predNot:
+		return !Eval(n.kid, bucketOf)
+	case predAnd:
+		for _, k := range n.kids {
+			if !Eval(k, bucketOf) {
+				return false
+			}
+		}
+		return true
+	case predOr:
+		for _, k := range n.kids {
+			if Eval(k, bucketOf) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// Positive rewrites p into negation normal form with every leaf positive:
+// Not distributes over And/Or by De Morgan, double negations cancel, and a
+// negated equality becomes In(field, every other bucket) — buckets returns
+// the bucket count of a field. The rewrite preserves semantics for records
+// that fall in exactly one bucket per field, and it matters when the
+// underlying bitmaps over-approximate membership (stale bits): positive
+// leaves keep every plan a superset of the true matches, so a re-check can
+// filter false positives, whereas complementing an over-approximation
+// would lose matches unrecoverably.
+func Positive(p Pred, buckets func(field string) int) Pred {
+	return positive(p, buckets, false)
+}
+
+func positive(p Pred, buckets func(string) int, negated bool) Pred {
+	switch n := p.(type) {
+	case predEq:
+		if !negated {
+			return n
+		}
+		others := make([]int, 0, buckets(n.field))
+		for b := 0; b < buckets(n.field); b++ {
+			if b != n.bucket {
+				others = append(others, b)
+			}
+		}
+		return In(n.field, others...)
+	case predNot:
+		return positive(n.kid, buckets, !negated)
+	case predAnd:
+		kids := make([]Pred, len(n.kids))
+		for i, k := range n.kids {
+			kids[i] = positive(k, buckets, negated)
+		}
+		if negated {
+			return Or(kids...)
+		}
+		return And(kids...)
+	case predOr:
+		// Negating an In — an Or of equalities on one field — dualises
+		// directly to the complement In. The generic De Morgan path below
+		// would be equivalent for single-bucket records but plans as an And
+		// of wide Ins, one per negated leaf: quadratically more senses.
+		if negated {
+			if f, set, ok := sameFieldEqs(n.kids); ok {
+				others := make([]int, 0, buckets(f))
+				for b := 0; b < buckets(f); b++ {
+					if !set[b] {
+						others = append(others, b)
+					}
+				}
+				return In(f, others...)
+			}
+		}
+		kids := make([]Pred, len(n.kids))
+		for i, k := range n.kids {
+			kids[i] = positive(k, buckets, negated)
+		}
+		if negated {
+			return And(kids...)
+		}
+		return Or(kids...)
+	}
+	return p
+}
+
+// sameFieldEqs reports whether every kid is an equality on one shared
+// field, returning that field and the bucket set.
+func sameFieldEqs(kids []Pred) (string, map[int]bool, bool) {
+	if len(kids) == 0 {
+		return "", nil, false
+	}
+	set := make(map[int]bool, len(kids))
+	field := ""
+	for _, k := range kids {
+		eq, ok := k.(predEq)
+		if !ok || (field != "" && eq.field != field) {
+			return "", nil, false
+		}
+		field = eq.field
+		set[eq.bucket] = true
+	}
+	return field, set, true
+}
+
+// walk visits every node of the tree.
+func walk(p Pred, f func(Pred)) {
+	f(p)
+	switch n := p.(type) {
+	case predNot:
+		walk(n.kid, f)
+	case predAnd:
+		for _, k := range n.kids {
+			walk(k, f)
+		}
+	case predOr:
+		for _, k := range n.kids {
+			walk(k, f)
+		}
+	}
+}

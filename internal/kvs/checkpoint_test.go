@@ -349,6 +349,7 @@ func TestCheckpointLayoutRejectsTinyGeometry(t *testing.T) {
 	spec := flash.DefaultSpec()
 	spec.PageSize = 128
 	spec.NumPages = 6
+	spec.Banks = 2 // six pages must split evenly across banks
 	dev := core.MustNewDevice(spec)
 	if _, err := Open(dev, WithCheckpoint(CheckpointConfig{SlotPages: 2})); err == nil {
 		t.Fatal("mount accepted a checkpoint region leaving <3 data pages")

@@ -24,6 +24,7 @@ func TestPowerLossDuringGC(t *testing.T) {
 			spec := flash.DefaultSpec()
 			spec.PageSize = 128
 			spec.NumPages = 6
+			spec.Banks = 2 // six pages must split evenly across banks
 			dev := core.MustNewDevice(spec)
 			s, err := Open(dev)
 			if err != nil {

@@ -101,6 +101,14 @@ func (c coreBackend) PageSize() int                     { return c.dev.Flash().S
 func (c coreBackend) NumPages() int                     { return c.dev.Flash().Spec().NumPages }
 func (c coreBackend) PageWear(p int) uint32             { return c.dev.Flash().Wear(p) }
 func (c coreBackend) SensePage(p int, dst []byte) error { return c.dev.SensePage(p, dst) }
+func (c coreBackend) ProgramByte(addr int, v byte) error {
+	return c.dev.Flash().ProgramByte(addr, v)
+}
+func (c coreBackend) Banks() int         { return c.dev.Flash().Banks() }
+func (c coreBackend) MaxSensePages() int { return c.dev.Flash().Spec().MaxSensePages }
+func (c coreBackend) SenseMulti(op flash.SenseOp, pages []int, invert []bool, dst []byte) error {
+	return c.dev.Flash().SenseMulti(op, pages, invert, dst)
+}
 
 // WearBackend is an optional Backend extension exposing per-page erase
 // counts. When the backend implements it, proactive compaction biases
@@ -122,6 +130,12 @@ type Stats struct {
 	QuarantinedPages uint64 // pages with unrepairable headers awaiting reclaim
 	RetiredPages     uint64 // pages abandoned mid-use after a verify failure
 	ReclaimRejected  uint64 // reclaim erases whose verify found residue (page stays quarantined)
+
+	Scans              uint64 // predicate scans served by the in-flash index
+	ScanFallbacks      uint64 // predicate scans served by the host path
+	ScanCandidates     uint64 // candidate records fetched by indexed scans
+	ScanFalsePositives uint64 // candidates rejected by the exact re-check (stale bits)
+	ScanIndexDisabled  uint64 // times the index degraded to host scans
 
 	Checkpoints        uint64 // index checkpoints committed to a slot
 	CheckpointFailures uint64 // checkpoint attempts that failed (oversize, erase/program error, torn)
@@ -155,9 +169,10 @@ type Store struct {
 	inGC     bool
 	verify   bool // read back every committed record
 
-	wb   WearBackend // b, when it exposes per-page wear (else nil)
-	comp *CompactionConfig
-	ckpt *checkpointState
+	wb      WearBackend // b, when it exposes per-page wear (else nil)
+	comp    *CompactionConfig
+	ckpt    *checkpointState
+	scanIdx *scanIndexState
 	// compactDue gates the O(np) proactive-compaction check: the free-page
 	// count and garbage ratio only move meaningfully when a page opens, so
 	// the check runs once per opened page, not once per append.
@@ -206,6 +221,9 @@ func OpenOn(b Backend, opts ...Option) (*Store, error) {
 	if err := s.layoutCheckpoint(); err != nil {
 		return nil, err
 	}
+	if err := s.layoutScanIndex(); err != nil {
+		return nil, err
+	}
 	s.pageSeq = make([]uint32, s.np)
 	s.pageUsed = make([]int, s.np)
 	s.pageLive = make([]int, s.np)
@@ -237,6 +255,9 @@ func OpenOn(b Backend, opts ...Option) (*Store, error) {
 				s.nextSeq = seqFloor
 			}
 			s.stats.CheckpointMounts++
+			if err := s.rebuildScanIndex(); err != nil {
+				return nil, err
+			}
 			return s, nil
 		}
 		s.resetMountState()
@@ -248,6 +269,9 @@ func OpenOn(b Backend, opts ...Option) (*Store, error) {
 		s.nextSeq = seqFloor
 	}
 	s.stats.ScanMounts++
+	if err := s.rebuildScanIndex(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -589,7 +613,11 @@ func (s *Store) Get(key string) ([]byte, error) {
 
 // Put stores key → val, appending a new record.
 func (s *Store) Put(key string, val []byte) error {
-	return s.append(key, val, 0)
+	if err := s.append(key, val, 0); err != nil {
+		return err
+	}
+	s.noteScanPut(key, val)
+	return nil
 }
 
 // Delete removes key by appending a tombstone. Deleting an absent or

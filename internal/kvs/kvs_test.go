@@ -16,6 +16,9 @@ func newStore(t *testing.T, pages int) (*Store, *core.Device) {
 	spec := flash.DefaultSpec()
 	spec.PageSize = 128
 	spec.NumPages = pages
+	if pages%spec.Banks != 0 {
+		spec.Banks = 2 // pages must split evenly across banks
+	}
 	dev := core.MustNewDevice(spec)
 	s, err := Open(dev)
 	if err != nil {

@@ -20,6 +20,7 @@ func TestModelBasedOperations(t *testing.T) {
 	spec := flash.DefaultSpec()
 	spec.PageSize = 128
 	spec.NumPages = 10
+	spec.Banks = 2 // ten pages must split evenly across banks
 	dev := core.MustNewDevice(spec)
 	store, err := Open(dev)
 	if err != nil {

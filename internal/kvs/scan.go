@@ -1,0 +1,276 @@
+package kvs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/flipbit-sim/flipbit/internal/flash"
+	"github.com/flipbit-sim/flipbit/internal/isc"
+)
+
+// InFlashBackend is an optional Backend extension: the in-storage compute
+// surface (multi-page bitwise senses and raw byte programs) the scan index
+// rides on. coreBackend implements it; backends without it (an FTL, whose
+// remapping would scramble the bitmap layout) silently fall back to host
+// scans.
+type InFlashBackend interface {
+	SenseMulti(op flash.SenseOp, pages []int, invert []bool, dst []byte) error
+	ProgramByte(addr int, v byte) error
+	Banks() int
+	MaxSensePages() int
+}
+
+// IndexField declares one indexed attribute of the records: how many
+// buckets it quantises into and how to derive a record's bucket. Extract
+// may return a negative value for records the field does not apply to;
+// such records match no positive predicate on the field, and — because
+// negated predicates are planned as "any other bucket" to stay sound
+// against stale bits — they are invisible to negated predicates on it too.
+// Fields queried under Not should therefore bucket every record.
+type IndexField struct {
+	Name    string
+	Buckets int
+	Extract func(key string, val []byte) int
+}
+
+// IndexSpec configures the in-flash scan index: the slot capacity and the
+// indexed fields. Keys beyond MaxKeys disable the index (scans fall back
+// to the host path) rather than failing writes.
+type IndexSpec struct {
+	MaxKeys int
+	Fields  []IndexField
+}
+
+// WithScanIndex arms predicate-pushdown scans: per-(field,bucket) bitmaps
+// are kept in a carved flash region and Scan evaluates predicates inside
+// the array with multi-page senses, reading only matching records.
+func WithScanIndex(spec IndexSpec) Option {
+	return func(s *Store) { s.scanIdx = &scanIndexState{spec: spec} }
+}
+
+// KV is one scan result.
+type KV struct {
+	Key string
+	Val []byte
+}
+
+// scanIndexState is the store's runtime scan-index bookkeeping. Slots are
+// assigned to keys on first Put and stay stable for the key's lifetime;
+// updates and deletes leave stale member bits behind (the bitmaps only
+// ever program 1→0), which surface as false-positive candidates that the
+// exact re-check on the fetched record filters out.
+type scanIndexState struct {
+	spec     IndexSpec
+	ix       *isc.Index
+	slotOf   map[string]int
+	slotKey  []string
+	disabled bool // capacity overflow or maintenance failure: host scans only
+}
+
+// layoutScanIndex carves the bitmap region (below the checkpoint slots,
+// when both are configured) and builds the index. Runs at mount, after
+// layoutCheckpoint.
+func (s *Store) layoutScanIndex() error {
+	si := s.scanIdx
+	if si == nil {
+		return nil
+	}
+	ifb, ok := s.b.(InFlashBackend)
+	if !ok {
+		si.disabled = true // backend cannot sense; Scan uses the host path
+		return nil
+	}
+	if si.spec.MaxKeys <= 0 {
+		return fmt.Errorf("kvs: scan index needs MaxKeys > 0, got %d", si.spec.MaxKeys)
+	}
+	cfg := isc.IndexConfig{
+		PageSize:      s.ps,
+		Banks:         ifb.Banks(),
+		MaxSensePages: ifb.MaxSensePages(),
+		Slots:         si.spec.MaxKeys,
+	}
+	for _, f := range si.spec.Fields {
+		cfg.Fields = append(cfg.Fields, isc.Field{Name: f.Name, Buckets: f.Buckets})
+	}
+	reserve := cfg.Pages()
+	if s.np-reserve < 3 {
+		return fmt.Errorf("kvs: scan index region (%d of %d pages) leaves too little data space", reserve, s.np)
+	}
+	s.np -= reserve
+	cfg.FirstPage = s.np
+	ix, err := isc.NewIndex(iscDevice{Backend: s.b, ifb: ifb}, cfg)
+	if err != nil {
+		return err
+	}
+	si.ix = ix
+	si.slotOf = make(map[string]int)
+	return nil
+}
+
+// iscDevice adapts the store's backend pair to the isc device surface.
+type iscDevice struct {
+	Backend
+	ifb InFlashBackend
+}
+
+func (d iscDevice) SenseMulti(op flash.SenseOp, pages []int, invert []bool, dst []byte) error {
+	return d.ifb.SenseMulti(op, pages, invert, dst)
+}
+
+func (d iscDevice) ProgramByte(addr int, v byte) error { return d.ifb.ProgramByte(addr, v) }
+
+// rebuildScanIndex re-derives the bitmaps from the mounted records: the
+// index is an acceleration structure, so instead of journaling it, mount
+// resets the region and re-adds every live key (compacting slots freed by
+// deletes in passing).
+func (s *Store) rebuildScanIndex() error {
+	si := s.scanIdx
+	if si == nil || si.ix == nil || si.disabled {
+		return nil
+	}
+	if err := si.ix.Reset(); err != nil {
+		return err
+	}
+	si.slotOf = make(map[string]int)
+	si.slotKey = si.slotKey[:0]
+	for _, key := range s.Keys() {
+		val, err := s.Get(key)
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				continue // unreadable record: it cannot match a scan either
+			}
+			return err
+		}
+		s.noteScanPut(key, val)
+	}
+	return nil
+}
+
+// noteScanPut indexes a committed record. Failures degrade, never corrupt:
+// running out of slots or a program error disables the index, and scans
+// fall back to the exact host path — a disabled index can only cost reads,
+// not results.
+func (s *Store) noteScanPut(key string, val []byte) {
+	si := s.scanIdx
+	if si == nil || si.ix == nil || si.disabled {
+		return
+	}
+	slot, ok := si.slotOf[key]
+	if !ok {
+		if len(si.slotKey) >= si.ix.Slots() {
+			si.disabled = true
+			s.stats.ScanIndexDisabled++
+			return
+		}
+		slot = len(si.slotKey)
+		si.slotOf[key] = slot
+		si.slotKey = append(si.slotKey, key)
+	}
+	for _, f := range si.spec.Fields {
+		b := f.Extract(key, val)
+		if b < 0 || b >= f.Buckets {
+			continue
+		}
+		if err := si.ix.Add(slot, f.Name, b); err != nil {
+			si.disabled = true
+			s.stats.ScanIndexDisabled++
+			return
+		}
+	}
+}
+
+// bucketsOf returns the Eval callback for one record.
+func (si *scanIndexState) bucketsOf(key string, val []byte) func(string) int {
+	return func(field string) int {
+		for _, f := range si.spec.Fields {
+			if f.Name == field {
+				return f.Extract(key, val)
+			}
+		}
+		return -1
+	}
+}
+
+// Scan returns the records matching the predicate, sorted by key. With a
+// live scan index the predicate is evaluated inside the flash array —
+// bitmap senses, never bitmap reads — and only candidate records are
+// fetched; each candidate is re-checked exactly on its bytes, so stale
+// index bits (from updates and deletes) can add reads but never wrong
+// results. Without an index (none configured, backend can't sense, or the
+// index degraded) the host path scans every record.
+func (s *Store) Scan(p isc.Pred) ([]KV, error) {
+	si := s.scanIdx
+	if si == nil || si.ix == nil || si.disabled {
+		s.stats.ScanFallbacks++
+		return s.ScanHost(p)
+	}
+	s.stats.Scans++
+	// Plan the positive rewrite: index bits are a superset of the truth
+	// (updates and deletes leave stale members), which only stays a
+	// superset — recoverable by the re-check below — if no plan node
+	// complements a bitmap. Not(Eq) becomes an In over the other buckets.
+	plan := isc.Positive(p, func(field string) int {
+		for _, f := range si.spec.Fields {
+			if f.Name == field {
+				return f.Buckets
+			}
+		}
+		return 0
+	})
+	bm := make([]byte, si.ix.BitmapBytes())
+	if err := si.ix.Query(plan, bm); err != nil {
+		return nil, err
+	}
+	var out []KV
+	for slot, key := range si.slotKey {
+		if bm[slot/8]&(1<<(slot%8)) == 0 {
+			continue
+		}
+		loc, ok := s.index[key]
+		if !ok || loc.dead {
+			continue // deleted since its bits were programmed
+		}
+		s.stats.ScanCandidates++
+		val, err := s.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		if !isc.Eval(p, si.bucketsOf(key, val)) {
+			s.stats.ScanFalsePositives++
+			continue // stale bit from an updated record
+		}
+		out = append(out, KV{Key: key, Val: val})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// ScanHost evaluates the predicate by reading every live record — the
+// read-everything-to-host baseline Scan is measured against, and its
+// exact-semantics oracle.
+func (s *Store) ScanHost(p isc.Pred) ([]KV, error) {
+	var out []KV
+	for _, key := range s.Keys() {
+		val, err := s.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		of := func(field string) int {
+			if s.scanIdx != nil {
+				return s.scanIdx.bucketsOf(key, val)(field)
+			}
+			return -1
+		}
+		if isc.Eval(p, of) {
+			out = append(out, KV{Key: key, Val: val})
+		}
+	}
+	return out, nil
+}
+
+// ScanIndexed reports whether scans are currently served by the in-flash
+// index.
+func (s *Store) ScanIndexed() bool {
+	return s.scanIdx != nil && s.scanIdx.ix != nil && !s.scanIdx.disabled
+}
