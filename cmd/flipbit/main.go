@@ -31,6 +31,7 @@ import (
 var (
 	flags      = flag.NewFlagSet("flipbit", flag.ExitOnError)
 	quick      = flags.Bool("quick", false, "trim workloads for a fast run (shapes preserved)")
+	cellMode   = flags.String("cell", "slc", "cell density for device-level experiments: slc, mlc or tlc (derates latency, energy and endurance)")
 	csvDir     = flags.String("csv", "", "also write each table as <dir>/<id>.csv")
 	benchJSON  = flags.String("benchjson", "", "write the writepath JSON report to this path, plus BENCH_crashcampaign.json, BENCH_transient.json, BENCH_lifetime.json, BENCH_encode.json, BENCH_kvscale.json and BENCH_inflash.json next to it")
 	faults     = flags.Bool("faults", false, "run a fault-injection campaign against the key-value store and print its outcome")
@@ -56,7 +57,12 @@ func run() int {
 	flags.Usage = usage
 	_ = flags.Parse(os.Args[1:])
 	args := flags.Args()
-	cfg := bench.Config{Quick: *quick}
+	cell, err := parseCellMode(*cellMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flipbit: %v\n", err)
+		return 2
+	}
+	cfg := bench.Config{Quick: *quick, Cell: cell}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -173,6 +179,19 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// parseCellMode maps the -cell flag onto a flash.CellMode.
+func parseCellMode(s string) (flash.CellMode, error) {
+	switch s {
+	case "slc":
+		return flash.SLC, nil
+	case "mlc":
+		return flash.MLC, nil
+	case "tlc":
+		return flash.TLC, nil
+	}
+	return flash.SLC, fmt.Errorf("unknown -cell mode %q (want slc, mlc or tlc)", s)
 }
 
 func writeBenchJSON(path string, cfg bench.Config) error {
@@ -375,6 +394,7 @@ Regenerates the paper's tables and figures. Examples:
   flipbit -faults -ftl -scrub                 # same with the scrubber armed
   flipbit -faults -retry 3                    # with transient verify failures + retry
   flipbit -lifetime                           # writes-to-first-data-loss comparison
+  flipbit -cell mlc writepath                 # device experiments on a derated MLC part
   flipbit -inflash                            # in-flash pushdown vs host scans
   flipbit -experiments                        # list every experiment id
   flipbit -benchjson BENCH_writepath.json     # machine-readable bench artifacts

@@ -67,8 +67,11 @@ type Encoder = approx.Encoder
 
 // BatchEncoder is an Encoder with a compiled byte-at-a-time batch kernel:
 // EncodeSlice encodes a whole span in one call with statistics accumulated
-// in-kernel. The built-in 1-bit, n-bit and exact encoders implement it; the
-// controller engages it automatically on SLC devices.
+// in-kernel. The built-in 1-bit, n-bit, n-cell (MLC) and exact encoders
+// implement it; the controller engages a kernel automatically on every
+// cell mode where its output and reachability semantics are sound (the
+// subset-producing bit kernels everywhere, the n-cell kernel on MLC, the
+// exact kernel on SLC).
 type BatchEncoder = approx.BatchEncoder
 
 // BatchStats are the aggregates a batch kernel computes while encoding.
@@ -225,14 +228,22 @@ func NewRandomFaultSchedule(seed uint64, mix FaultMix) FaultSchedule {
 // construction, before any operation can escape it.
 func WithFaultSchedule(s FaultSchedule) Option { return core.WithFaultSchedule(s) }
 
-// CellMode selects SLC (default) or MLC programming semantics on a Spec.
+// CellMode selects the cell density — SLC (default), MLC or TLC — and
+// with it the per-cell programming semantics on a Spec.
 type CellMode = flash.CellMode
 
 // Cell modes for Spec.Cell.
 const (
 	SLC = flash.SLC
 	MLC = flash.MLC
+	TLC = flash.TLC
 )
+
+// DensitySpec re-parameterises a Spec for the given cell density: program,
+// read and sense costs scale with bits per cell, endurance drops one
+// decade per extra bit, erase is unchanged. Use it to run the same part at
+// SLC, MLC or TLC in a density sweep.
+func DensitySpec(base Spec, mode CellMode) Spec { return flash.DensitySpec(base, mode) }
 
 // CortexM0Plus returns the reference MCU power model used throughout the
 // paper's energy comparisons (2.275 mW @ 48 MHz).

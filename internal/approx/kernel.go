@@ -60,7 +60,7 @@ type BatchStats struct {
 	SumAbs       uint64 // Σ |exact − approx|
 	SumSq        uint64 // Σ (exact − approx)²
 	MaxAbs       uint32 // max |exact − approx| over the span
-	Unreachable  bool   // some output value needs a 0→1 flip (SLC view)
+	Unreachable  bool   // some output value is not programmable over prev
 }
 
 // add folds one (exact, approx) pair into the stats.
@@ -82,11 +82,15 @@ func (st *BatchStats) add(exact, approx uint32) {
 // prev/exact into approx (all three the same length, a multiple of
 // w.Bytes(), values little-endian) and returns the in-kernel statistics.
 //
-// Reachability in BatchStats.Unreachable is judged under SLC semantics
-// (bitwise subset); the controller only takes the batch path on SLC devices
-// and falls back to the scalar encoders otherwise. The scalar path remains
-// the differential-test oracle: EncodeSlice must be bit-identical to
-// width-wise calls of Approximate.
+// Reachability in BatchStats.Unreachable is judged under the cell
+// semantics the kernel was compiled for: the bit kernels produce bitwise
+// subsets (reachable on every cell mode, Unreachable always false), Exact
+// reports the SLC word-wise subset test, and the NCell kernel's outputs
+// are MLC-reachable by construction. The controller engages a kernel only
+// on cell modes where its verdict and outputs are sound — see
+// core.kernelEngages — and falls back to the scalar encoders otherwise.
+// The scalar path remains the differential-test oracle: EncodeSlice must
+// be bit-identical to width-wise calls of Approximate.
 type BatchEncoder interface {
 	Encoder
 	EncodeSlice(prev, exact, approx []byte, w bits.Width) BatchStats

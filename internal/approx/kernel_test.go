@@ -225,7 +225,10 @@ func TestEncodeSliceZeroAlloc(t *testing.T) {
 	for i := range prev {
 		prev[i], exact[i] = rng.Byte(), rng.Byte()
 	}
-	encoders := []BatchEncoder{OneBit{}, Exact{}, MustNBit(1), MustNBit(2), MustNBit(8)}
+	encoders := []BatchEncoder{
+		OneBit{}, Exact{}, MustNBit(1), MustNBit(2), MustNBit(8),
+		MustNCell(1), MustNCell(2), MustNCell(4),
+	}
 	for _, enc := range encoders {
 		for _, w := range []bits.Width{bits.W8, bits.W16, bits.W32} {
 			enc.EncodeSlice(prev, exact, approx, w) // derive any lazy LUT outside the measurement
@@ -244,7 +247,7 @@ func TestEncodeSliceZeroAlloc(t *testing.T) {
 // independent of batch assembly.
 func TestEncodeSegmentsMatchesPerSliceCalls(t *testing.T) {
 	rng := xrand.New(0x5E65)
-	encoders := []BatchEncoder{Exact{}, OneBit{}, MustNBit(2), MustNBit(4)}
+	encoders := []BatchEncoder{Exact{}, OneBit{}, MustNBit(2), MustNBit(4), MustNCell(2)}
 	for _, enc := range encoders {
 		for _, w := range []bits.Width{bits.W8, bits.W16, bits.W32} {
 			const nseg = 5

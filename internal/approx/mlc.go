@@ -24,9 +24,11 @@ const cellLevels = 1 << CellBits
 // n == 1 it reproduces the paper's worked example (§VI): each cell is
 // clamped to its previous level when the exact level is unreachable, and the
 // setOnes/setZeros saturation flags carry across cells exactly as in the
-// binary algorithms.
+// binary algorithms. It also carries the compiled batch kernel
+// (mlckernel.go), so it satisfies BatchEncoder.
 type NCell struct {
-	n int
+	n    int
+	kern *ncellKernel
 }
 
 // NewNCell returns the n-cell encoder, n >= 1 cells of lookahead window.
@@ -34,7 +36,7 @@ func NewNCell(n int) (*NCell, error) {
 	if n < 1 || n > MaxN/CellBits {
 		return nil, fmt.Errorf("approx: n-cell window must be in [1,%d], got %d", MaxN/CellBits, n)
 	}
-	return &NCell{n: n}, nil
+	return &NCell{n: n, kern: cachedCellKernel(n)}, nil
 }
 
 // MustNCell is NewNCell for static configurations known to be valid.

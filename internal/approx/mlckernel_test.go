@@ -1,0 +1,228 @@
+package approx
+
+import (
+	"testing"
+
+	"github.com/flipbit-sim/flipbit/internal/bits"
+	"github.com/flipbit-sim/flipbit/internal/xrand"
+)
+
+// cellLE reports whether every 2-bit cell of a is <= the corresponding
+// cell of b — MLC reachability, written as the naive per-cell loop the
+// SWAR helpers must agree with.
+func cellLE(a, b uint32) bool {
+	for c := 0; c < 16; c++ {
+		if a>>uint(CellBits*c)&(cellLevels-1) > b>>uint(CellBits*c)&(cellLevels-1) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCellGTMatchesPerCell proves the SWAR comparators against the naive
+// per-cell loop: exhaustively for byte operands, randomly for full words.
+func TestCellGTMatchesPerCell(t *testing.T) {
+	for a := uint32(0); a < 256; a++ {
+		for b := uint32(0); b < 256; b++ {
+			var want uint32
+			for c := 0; c < 4; c++ {
+				if a>>uint(CellBits*c)&(cellLevels-1) > b>>uint(CellBits*c)&(cellLevels-1) {
+					want |= 1 << uint(CellBits*c+1)
+				}
+			}
+			if got := cellGT(a, b); got != want {
+				t.Fatalf("cellGT(%#x, %#x) = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+	rng := xrand.New(0xCE11)
+	for i := 0; i < 20000; i++ {
+		a, b := rng.Uint32(), rng.Uint32()
+		if (cellGT(a, b) == 0) != cellLE(a, b) {
+			t.Fatalf("cellGT(%#x, %#x) zero-test disagrees with per-cell loop", a, b)
+		}
+		a64 := uint64(a)<<32 | uint64(rng.Uint32())
+		b64 := uint64(b)<<32 | uint64(rng.Uint32())
+		want := cellGT(uint32(a64), uint32(b64)) == 0 && cellGT(uint32(a64>>32), uint32(b64>>32)) == 0
+		if (cellGT64(a64, b64) == 0) != want {
+			t.Fatalf("cellGT64(%#x, %#x) zero-test disagrees with 32-bit halves", a64, b64)
+		}
+	}
+}
+
+// TestCellTableN2NotDegenerate pins the n = 2 minimax table: unlike the
+// bit chain (whose n = 2 table collapses to one mask expression,
+// nbit2Value), the cell table fires on two distinct shapes — e' = 3 with
+// any p' < 3, and e' = 2 with p' = 0 — so n >= 2 must probe the table.
+func TestCellTableN2NotDegenerate(t *testing.T) {
+	fire := deriveCellTable(2)
+	for e := uint32(0); e < 4; e++ {
+		for p := uint32(0); p < 4; p++ {
+			want := (e == 3 && p < 3) || (e == 2 && p == 0)
+			if fire[e<<CellBits|p] != want {
+				t.Errorf("fire[e'=%d p'=%d] = %v, want %v", e, p, fire[e<<CellBits|p], want)
+			}
+		}
+	}
+}
+
+// scalarEncodeSpanCell is the reference slice walker for the MLC kernel:
+// value by value through the scalar NCell.Approximate, with reachability
+// judged per cell — exactly what the controller's scalar encode loop
+// concludes on an MLC device.
+func scalarEncodeSpanCell(t *testing.T, enc *NCell, prev, exact, approx []byte, w bits.Width) BatchStats {
+	t.Helper()
+	var st BatchStats
+	vb := w.Bytes()
+	for i := 0; i+vb <= len(exact); i += vb {
+		p := bits.LoadLE(prev[i:], w)
+		e := bits.LoadLE(exact[i:], w)
+		a := enc.Approximate(p, e, w)
+		bits.StoreLE(approx[i:], a, w)
+		st.add(e, a)
+		if !cellLE(a, p) {
+			st.Unreachable = true
+		}
+	}
+	return st
+}
+
+func checkCellSpanEqual(t *testing.T, enc *NCell, prev, exact []byte, w bits.Width) {
+	t.Helper()
+	gotBuf := make([]byte, len(exact))
+	wantBuf := make([]byte, len(exact))
+	got := enc.EncodeSlice(prev, exact, gotBuf, w)
+	want := scalarEncodeSpanCell(t, enc, prev, exact, wantBuf, w)
+	for i := range wantBuf {
+		if gotBuf[i] != wantBuf[i] {
+			p := bits.LoadLE(prev[i/w.Bytes()*w.Bytes():], w)
+			e := bits.LoadLE(exact[i/w.Bytes()*w.Bytes():], w)
+			t.Fatalf("%s/%v: output byte %d: kernel %#x, scalar %#x (value prev=%#x exact=%#x)",
+				enc.Name(), w, i, gotBuf[i], wantBuf[i], p, e)
+		}
+	}
+	if got != want {
+		t.Fatalf("%s/%v: stats diverge: kernel %+v, scalar %+v", enc.Name(), w, got, want)
+	}
+}
+
+// TestNCellKernelExhaustiveW8 proves the byte LUT and the cell-break chain
+// equal the scalar n-cell walk for EVERY 8-bit (previous, exact) pair at
+// every supported window size.
+func TestNCellKernelExhaustiveW8(t *testing.T) {
+	prev := make([]byte, 256)
+	exact := make([]byte, 256)
+	for n := 1; n <= MaxN/CellBits; n++ {
+		enc := MustNCell(n)
+		for p := 0; p < 256; p++ {
+			for e := range exact {
+				prev[e] = byte(p)
+				exact[e] = byte(e)
+			}
+			checkCellSpanEqual(t, enc, prev, exact, bits.W8)
+		}
+	}
+}
+
+// ncellBoundaryVectors are crafted 32-bit cases where the cell lookahead
+// window straddles byte boundaries, plus the shapes the SLC kernel would
+// misjudge (bit-setting but cell-decreasing moves like 10 → 01).
+var ncellBoundaryVectors = [][2]uint32{
+	{0x0000AA00, 0x00005500}, // every cell 10 → 01: SLC-unreachable, MLC identity
+	{0x00005500, 0x0000AA00}, // every cell 01 → 10: undershoot at the top cell
+	{0x0000FF00, 0x000100FF}, // undershoot exactly at a byte boundary
+	{0x00FF00FF, 0x0100FF00},
+	{0xFFFEFFFE, 0x00010001},
+	{0xFF00FF00, 0x00FF00FF},
+	{0x80808080, 0x7F7F7F7F},
+	{0x01FE01FE, 0x01010101},
+	{0xFEFFFFFF, 0x03000000}, // window hangs below the top cell
+	{0x00FFFF00, 0x0000FFFF},
+	{0x3FFFFFFF, 0xC0000000}, // MSC undershoot: result is previous
+	{0xAAAAAAAA, 0x55555555},
+	{0x55555555, 0xAAAAAAAA},
+	{0xFFFFFF00, 0x000003FF}, // overshoot decision fed by the lower byte
+	{0xA5A5A5A5, 0x5A5A5A5A},
+	{0xFFFFFFFF, 0xFEFFFFFF}, // near-max exact: overshoot saturation
+}
+
+// TestNCellKernelBoundaryVectors pins the crafted cross-byte cases for
+// every window size at 16 and 32 bits.
+func TestNCellKernelBoundaryVectors(t *testing.T) {
+	for n := 1; n <= MaxN/CellBits; n++ {
+		enc := MustNCell(n)
+		for _, v := range ncellBoundaryVectors {
+			for _, w := range []bits.Width{bits.W16, bits.W32} {
+				prev := make([]byte, 4)
+				exact := make([]byte, 4)
+				bits.StoreLE(prev, v[0]&w.Mask(), bits.W32)
+				bits.StoreLE(exact, v[1]&w.Mask(), bits.W32)
+				checkCellSpanEqual(t, enc, prev, exact, w)
+			}
+		}
+	}
+}
+
+// TestNCellKernelRandomWide drives random multi-value spans through every
+// window size at every width, including spans dominated by cell-reachable
+// values so the cellGT64 bulk-skip path interleaves with the per-value
+// path.
+func TestNCellKernelRandomWide(t *testing.T) {
+	rng := xrand.New(0x4CE1)
+	const span = 64
+	prev := make([]byte, span)
+	exact := make([]byte, span)
+	for round := 0; round < 400; round++ {
+		for i := range prev {
+			prev[i] = rng.Byte()
+			switch round % 4 {
+			case 0: // independent random data
+				exact[i] = rng.Byte()
+			case 1: // mostly cell-reachable: exercise the bulk-skip path
+				exact[i] = prev[i] &^ byte(rng.Intn(4))
+			case 2: // near-neighbour drift (the sensor workloads)
+				exact[i] = byte(int(prev[i]) + rng.Intn(5) - 2)
+			default: // freshly erased page
+				prev[i] = 0xFF
+				exact[i] = rng.Byte()
+			}
+		}
+		for n := 1; n <= MaxN/CellBits; n++ {
+			enc := MustNCell(n)
+			for _, w := range []bits.Width{bits.W8, bits.W16, bits.W32} {
+				checkCellSpanEqual(t, enc, prev, exact, w)
+			}
+		}
+	}
+}
+
+// TestNCellKernelIdentityAndReachability spot-checks the structural
+// invariants the controller relies on on MLC devices: every output cell
+// level is <= previous's (never needs an erase) and cell-reachable exact
+// values pass through unchanged.
+func TestNCellKernelIdentityAndReachability(t *testing.T) {
+	rng := xrand.New(11)
+	for n := 1; n <= MaxN/CellBits; n++ {
+		enc := MustNCell(n)
+		for i := 0; i < 2000; i++ {
+			p, e := rng.Uint32(), rng.Uint32()
+			for _, w := range []bits.Width{bits.W8, bits.W16, bits.W32} {
+				pm, em := p&w.Mask(), e&w.Mask()
+				var pb, eb, ab [4]byte
+				bits.StoreLE(pb[:], pm, bits.W32)
+				bits.StoreLE(eb[:], em, bits.W32)
+				st := enc.EncodeSlice(pb[:w.Bytes()], eb[:w.Bytes()], ab[:w.Bytes()], w)
+				a := bits.LoadLE(ab[:], w)
+				if !cellLE(a, pm) {
+					t.Fatalf("n=%d %v: EncodeSlice(%#x, %#x) = %#x not cell-reachable from previous", n, w, pm, em, a)
+				}
+				if cellLE(em, pm) && a != em {
+					t.Fatalf("n=%d %v: exact %#x cell-reachable from %#x but got %#x", n, w, em, pm, a)
+				}
+				if st.Unreachable {
+					t.Fatalf("n=%d %v: cell kernel reported unreachable", n, w)
+				}
+			}
+		}
+	}
+}

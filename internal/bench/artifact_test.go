@@ -75,13 +75,41 @@ func TestValidateArtifactRejects(t *testing.T) {
 		{"encode below 3x on nbit", "encode",
 			`{"seed":1,"span_bytes":4096,"e2e_ops":100,"e2e_scalar_ns_per_op":200,"e2e_kernel_ns_per_op":100,
 			  "e2e_speedup":2,"stats_match":true,
+			  "e2e_mlc_ops":100,"e2e_mlc_scalar_ns_per_op":400,"e2e_mlc_kernel_ns_per_op":100,"e2e_mlc_speedup":4,
 			  "rows":[{"encoder":"nbit2","family":"nbit","width_bits":8,"values":4096,
-			           "scalar_ns_per_value":10,"kernel_ns_per_value":5,"speedup":2}]}`},
+			           "scalar_ns_per_value":10,"kernel_ns_per_value":5,"speedup":2},
+			          {"encoder":"ncell2","family":"ncell","width_bits":8,"values":4096,
+			           "scalar_ns_per_value":60,"kernel_ns_per_value":6,"speedup":10}]}`},
 		{"encode stats mismatch", "encode",
 			`{"seed":1,"span_bytes":4096,"e2e_ops":100,"e2e_scalar_ns_per_op":200,"e2e_kernel_ns_per_op":100,
 			  "e2e_speedup":2,"stats_match":false,
+			  "e2e_mlc_ops":100,"e2e_mlc_scalar_ns_per_op":400,"e2e_mlc_kernel_ns_per_op":100,"e2e_mlc_speedup":4,
+			  "rows":[{"encoder":"nbit2","family":"nbit","width_bits":8,"values":4096,
+			           "scalar_ns_per_value":50,"kernel_ns_per_value":5,"speedup":10},
+			          {"encoder":"ncell2","family":"ncell","width_bits":8,"values":4096,
+			           "scalar_ns_per_value":60,"kernel_ns_per_value":6,"speedup":10}]}`},
+		{"encode below 5x on ncell", "encode",
+			`{"seed":1,"span_bytes":4096,"e2e_ops":100,"e2e_scalar_ns_per_op":200,"e2e_kernel_ns_per_op":100,
+			  "e2e_speedup":2,"stats_match":true,
+			  "e2e_mlc_ops":100,"e2e_mlc_scalar_ns_per_op":400,"e2e_mlc_kernel_ns_per_op":100,"e2e_mlc_speedup":4,
+			  "rows":[{"encoder":"nbit2","family":"nbit","width_bits":8,"values":4096,
+			           "scalar_ns_per_value":50,"kernel_ns_per_value":5,"speedup":10},
+			          {"encoder":"ncell2","family":"ncell","width_bits":8,"values":4096,
+			           "scalar_ns_per_value":12,"kernel_ns_per_value":6,"speedup":2}]}`},
+		{"encode missing ncell rows", "encode",
+			`{"seed":1,"span_bytes":4096,"e2e_ops":100,"e2e_scalar_ns_per_op":200,"e2e_kernel_ns_per_op":100,
+			  "e2e_speedup":2,"stats_match":true,
+			  "e2e_mlc_ops":100,"e2e_mlc_scalar_ns_per_op":400,"e2e_mlc_kernel_ns_per_op":100,"e2e_mlc_speedup":4,
 			  "rows":[{"encoder":"nbit2","family":"nbit","width_bits":8,"values":4096,
 			           "scalar_ns_per_value":50,"kernel_ns_per_value":5,"speedup":10}]}`},
+		{"encode mlc e2e below 2x", "encode",
+			`{"seed":1,"span_bytes":4096,"e2e_ops":100,"e2e_scalar_ns_per_op":200,"e2e_kernel_ns_per_op":100,
+			  "e2e_speedup":2,"stats_match":true,
+			  "e2e_mlc_ops":100,"e2e_mlc_scalar_ns_per_op":150,"e2e_mlc_kernel_ns_per_op":100,"e2e_mlc_speedup":1.5,
+			  "rows":[{"encoder":"nbit2","family":"nbit","width_bits":8,"values":4096,
+			           "scalar_ns_per_value":50,"kernel_ns_per_value":5,"speedup":10},
+			          {"encoder":"ncell2","family":"ncell","width_bits":8,"values":4096,
+			           "scalar_ns_per_value":60,"kernel_ns_per_value":6,"speedup":10}]}`},
 		{"campaign missing compact+ckpt scenario", "crashcampaign",
 			`{"seed":1,"rows":[{"scenario":"kvs/mixed","cycles":10,"crashes":3,"faults_fired":2,"violation_count":0,"fingerprint":7}]}`},
 		{"campaign compact+ckpt never compacted", "crashcampaign",
@@ -150,8 +178,46 @@ func TestValidateArtifactRejects(t *testing.T) {
 		{"encode e2e regression", "encode",
 			`{"seed":1,"span_bytes":4096,"e2e_ops":100,"e2e_scalar_ns_per_op":100,"e2e_kernel_ns_per_op":200,
 			  "e2e_speedup":0.5,"stats_match":true,
+			  "e2e_mlc_ops":100,"e2e_mlc_scalar_ns_per_op":400,"e2e_mlc_kernel_ns_per_op":100,"e2e_mlc_speedup":4,
 			  "rows":[{"encoder":"nbit2","family":"nbit","width_bits":8,"values":4096,
-			           "scalar_ns_per_value":50,"kernel_ns_per_value":5,"speedup":10}]}`},
+			           "scalar_ns_per_value":50,"kernel_ns_per_value":5,"speedup":10},
+			          {"encoder":"ncell2","family":"ncell","width_bits":8,"values":4096,
+			           "scalar_ns_per_value":60,"kernel_ns_per_value":6,"speedup":10}]}`},
+		{"lifetime missing density sweep", "lifetime",
+			`{"seed":1,"endurance_cycles":40,"page_size":64,"num_pages":24,"spares":4,
+			  "rows":[{"config":"unmanaged","writes_to_first_loss":40,"data_lost":true,"lifetime_x":1,"erases":1,"max_wear":1},
+			          {"config":"managed","writes_to_first_loss":100,"data_lost":false,"lifetime_x":2.5,"erases":1,"max_wear":1}]}`},
+		{"lifetime density missing TLC row", "lifetime",
+			`{"seed":1,"endurance_cycles":40,"page_size":64,"num_pages":24,"spares":4,
+			  "rows":[{"config":"unmanaged","writes_to_first_loss":40,"data_lost":true,"lifetime_x":1,"erases":1,"max_wear":1},
+			          {"config":"managed","writes_to_first_loss":100,"data_lost":false,"lifetime_x":2.5,"erases":1,"max_wear":1}],
+			  "density":[
+			    {"cell":"SLC","bits_per_cell":1,"capacity_x":1,"encoder":"nbit2","endurance_cycles":40,
+			     "writes_to_first_loss":500,"data_lost":true,"mae":1.1,"erases":40,"max_wear":41},
+			    {"cell":"MLC","bits_per_cell":2,"capacity_x":2,"encoder":"ncell2","endurance_cycles":4,
+			     "writes_to_first_loss":80,"data_lost":true,"mae":1.3,"erases":5,"max_wear":5}]}`},
+		{"lifetime density capacity mismatch", "lifetime",
+			`{"seed":1,"endurance_cycles":40,"page_size":64,"num_pages":24,"spares":4,
+			  "rows":[{"config":"unmanaged","writes_to_first_loss":40,"data_lost":true,"lifetime_x":1,"erases":1,"max_wear":1},
+			          {"config":"managed","writes_to_first_loss":100,"data_lost":false,"lifetime_x":2.5,"erases":1,"max_wear":1}],
+			  "density":[
+			    {"cell":"SLC","bits_per_cell":1,"capacity_x":1,"encoder":"nbit2","endurance_cycles":40,
+			     "writes_to_first_loss":500,"data_lost":true,"mae":1.1,"erases":40,"max_wear":41},
+			    {"cell":"MLC","bits_per_cell":2,"capacity_x":3,"encoder":"ncell2","endurance_cycles":4,
+			     "writes_to_first_loss":80,"data_lost":true,"mae":1.3,"erases":5,"max_wear":5},
+			    {"cell":"TLC","bits_per_cell":3,"capacity_x":3,"encoder":"nbit2","endurance_cycles":1,
+			     "writes_to_first_loss":20,"data_lost":true,"mae":1.5,"erases":2,"max_wear":2}]}`},
+		{"lifetime density zero writes", "lifetime",
+			`{"seed":1,"endurance_cycles":40,"page_size":64,"num_pages":24,"spares":4,
+			  "rows":[{"config":"unmanaged","writes_to_first_loss":40,"data_lost":true,"lifetime_x":1,"erases":1,"max_wear":1},
+			          {"config":"managed","writes_to_first_loss":100,"data_lost":false,"lifetime_x":2.5,"erases":1,"max_wear":1}],
+			  "density":[
+			    {"cell":"SLC","bits_per_cell":1,"capacity_x":1,"encoder":"nbit2","endurance_cycles":40,
+			     "writes_to_first_loss":500,"data_lost":true,"mae":1.1,"erases":40,"max_wear":41},
+			    {"cell":"MLC","bits_per_cell":2,"capacity_x":2,"encoder":"ncell2","endurance_cycles":4,
+			     "writes_to_first_loss":80,"data_lost":true,"mae":1.3,"erases":5,"max_wear":5},
+			    {"cell":"TLC","bits_per_cell":3,"capacity_x":3,"encoder":"nbit2","endurance_cycles":1,
+			     "writes_to_first_loss":0,"data_lost":true,"mae":0,"erases":0,"max_wear":0}]}`},
 	}
 	for _, tc := range cases {
 		if err := ValidateArtifact(tc.kind, []byte(tc.doc)); err == nil {

@@ -13,6 +13,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"github.com/flipbit-sim/flipbit/internal/flash"
 )
 
 // Config controls experiment scale.
@@ -20,6 +22,21 @@ type Config struct {
 	// Quick trims workloads (fewer frames, fewer test samples) so the
 	// whole suite completes in seconds; shapes are preserved.
 	Quick bool
+
+	// Cell selects the flash cell density the device-level experiments run
+	// at (cmd/flipbit -cell). The zero value, SLC, reproduces the committed
+	// artifacts; MLC and TLC re-derate the part via flash.DensitySpec so
+	// the same scenarios sweep the density axis.
+	Cell flash.CellMode
+}
+
+// applyCell re-parameterises a device spec for the configured density.
+// SLC is the identity, so default runs match the committed artifacts.
+func (c Config) applyCell(s flash.Spec) flash.Spec {
+	if c.Cell == flash.SLC {
+		return s
+	}
+	return flash.DensitySpec(s, c.Cell)
 }
 
 // Table is one regenerated result.

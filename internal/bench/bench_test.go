@@ -295,6 +295,10 @@ func TestEncodeKernelShape(t *testing.T) {
 	if !rep.StatsMatch {
 		t.Fatal("kernel and scalar paths diverged")
 	}
+	if raceEnabled {
+		t.Log("race detector on: skipping the schema's timing gates (instrumentation overhead swamps kernel-vs-scalar ratios)")
+		return
+	}
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		t.Fatal(err)

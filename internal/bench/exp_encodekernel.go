@@ -11,6 +11,7 @@ import (
 	"github.com/flipbit-sim/flipbit/internal/approx"
 	"github.com/flipbit-sim/flipbit/internal/bits"
 	"github.com/flipbit-sim/flipbit/internal/core"
+	"github.com/flipbit-sim/flipbit/internal/flash"
 	"github.com/flipbit-sim/flipbit/internal/xrand"
 )
 
@@ -24,15 +25,19 @@ import (
 //   - end-to-end: the serial write-path workload replayed on two devices,
 //     one on the kernels (the default) and one forced onto the scalar path
 //     with core.WithScalarEncode, with the controller statistics of both
-//     required to match exactly.
+//     required to match exactly. The comparison runs twice: once on the
+//     SLC part with its default n-bit encoder, and once on the same part
+//     derated to MLC with the n-cell encoder — the configuration that ran
+//     scalar-only before the cell kernels existed.
 //
 // Results land in BENCH_encode.json; validateEncode pins the acceptance
-// invariants (≥3× on an n-bit micro row, e2e speedup ≥1, stats matched).
+// invariants (≥3× on an n-bit micro row, ≥5× on an n-cell micro row, SLC
+// e2e speedup ≥1, MLC e2e speedup ≥2, stats matched).
 
 // EncodeKernelRow is one micro-benchmark configuration.
 type EncodeKernelRow struct {
 	Encoder          string  `json:"encoder"`
-	Family           string  `json:"family"` // "nbit", "onebit" or "exact"
+	Family           string  `json:"family"` // "nbit", "ncell", "onebit" or "exact"
 	WidthBits        int     `json:"width_bits"`
 	Values           int     `json:"values"`
 	ScalarNsPerValue float64 `json:"scalar_ns_per_value"`
@@ -52,7 +57,16 @@ type EncodeKernelReport struct {
 	E2EScalarNsPerOp float64 `json:"e2e_scalar_ns_per_op"`
 	E2EKernelNsPerOp float64 `json:"e2e_kernel_ns_per_op"`
 	E2ESpeedup       float64 `json:"e2e_speedup"`
-	StatsMatch       bool    `json:"stats_match"`
+
+	// The MLC twin of the end-to-end comparison: the same workload on the
+	// part derated to MLC with the n-cell encoder, where the scalar device
+	// is exactly the pre-kernel MLC write path.
+	E2EMLCOps           int     `json:"e2e_mlc_ops"`
+	E2EMLCScalarNsPerOp float64 `json:"e2e_mlc_scalar_ns_per_op"`
+	E2EMLCKernelNsPerOp float64 `json:"e2e_mlc_kernel_ns_per_op"`
+	E2EMLCSpeedup       float64 `json:"e2e_mlc_speedup"`
+
+	StatsMatch bool `json:"stats_match"`
 }
 
 // encodeKernelConfigs are the measured (encoder, width) pairs: the hot
@@ -72,6 +86,10 @@ func encodeKernelConfigs() []struct {
 		{approx.MustNBit(2), "nbit", bits.W32},
 		{approx.MustNBit(8), "nbit", bits.W32},
 		{approx.Exact{}, "exact", bits.W32},
+		{approx.MustNCell(1), "ncell", bits.W32},
+		{approx.MustNCell(2), "ncell", bits.W8},
+		{approx.MustNCell(2), "ncell", bits.W32},
+		{approx.MustNCell(4), "ncell", bits.W32},
 	}
 }
 
@@ -144,40 +162,64 @@ func RunEncodeKernel(cfg Config) (*EncodeKernelReport, error) {
 	}
 
 	// End-to-end: the serial write-path workload on a kernel device versus
-	// a scalar-forced device. Same plan, same seed, same threshold.
-	spec := writePathSpec()
-	plan := newWritePathPlan(spec, spec.Banks, e2eOps)
-	warm := newWritePathPlan(spec, spec.Banks, 256*spec.Banks)
-	run := func(opts ...core.Option) (time.Duration, core.Stats, error) {
-		d, err := core.NewDevice(spec, opts...)
+	// a scalar-forced device. Same plan, same seed, same threshold. e2e
+	// compares kernel (no extra options) against scalar (WithScalarEncode)
+	// on the given spec and returns (kernel ns/op, scalar ns/op, ops).
+	e2e := func(spec flash.Spec, opts ...core.Option) (float64, float64, int, error) {
+		plan := newWritePathPlan(spec, spec.Banks, e2eOps)
+		warm := newWritePathPlan(spec, spec.Banks, 256*spec.Banks)
+		run := func(extra ...core.Option) (time.Duration, core.Stats, error) {
+			d, err := core.NewDevice(spec, append(append([]core.Option{}, opts...), extra...)...)
+			if err != nil {
+				return 0, core.Stats{}, err
+			}
+			if err := d.SetApproxRegion(0, spec.Size()); err != nil {
+				return 0, core.Stats{}, err
+			}
+			d.SetThreshold(4)
+			warm.run(d, 1)
+			d.ResetStats()
+			elapsed, _, _ := plan.run(d, 1)
+			return elapsed, d.Stats(), nil
+		}
+		kElapsed, kStats, err := run()
 		if err != nil {
-			return 0, core.Stats{}, err
+			return 0, 0, 0, err
 		}
-		if err := d.SetApproxRegion(0, spec.Size()); err != nil {
-			return 0, core.Stats{}, err
+		sElapsed, sStats, err := run(core.WithScalarEncode())
+		if err != nil {
+			return 0, 0, 0, err
 		}
-		d.SetThreshold(4)
-		warm.run(d, 1)
-		d.ResetStats()
-		elapsed, _, _ := plan.run(d, 1)
-		return elapsed, d.Stats(), nil
+		if kStats != sStats {
+			rep.StatsMatch = false
+		}
+		ops := (e2eOps / spec.Banks) * spec.Banks
+		return float64(kElapsed.Nanoseconds()) / float64(ops),
+			float64(sElapsed.Nanoseconds()) / float64(ops), ops, nil
 	}
-	kElapsed, kStats, err := run()
+
+	spec := cfg.applyCell(writePathSpec())
+	kNs, sNs, ops, err := e2e(spec)
 	if err != nil {
 		return nil, err
 	}
-	sElapsed, sStats, err := run(core.WithScalarEncode())
-	if err != nil {
-		return nil, err
-	}
-	ops := (e2eOps / spec.Banks) * spec.Banks
 	rep.E2EOps = ops
-	rep.E2EKernelNsPerOp = float64(kElapsed.Nanoseconds()) / float64(ops)
-	rep.E2EScalarNsPerOp = float64(sElapsed.Nanoseconds()) / float64(ops)
-	rep.E2ESpeedup = rep.E2EScalarNsPerOp / rep.E2EKernelNsPerOp
-	if kStats != sStats {
-		rep.StatsMatch = false
+	rep.E2EKernelNsPerOp = kNs
+	rep.E2EScalarNsPerOp = sNs
+	rep.E2ESpeedup = sNs / kNs
+
+	// The MLC twin: same part derated to two bits per cell, encoding with
+	// the n-cell window. Before the cell kernels this configuration was
+	// pinned to the scalar path, so its speedup is the headline number.
+	mlcSpec := flash.DensitySpec(writePathSpec(), flash.MLC)
+	kNs, sNs, ops, err = e2e(mlcSpec, core.WithEncoder(approx.MustNCell(2)))
+	if err != nil {
+		return nil, err
 	}
+	rep.E2EMLCOps = ops
+	rep.E2EMLCKernelNsPerOp = kNs
+	rep.E2EMLCScalarNsPerOp = sNs
+	rep.E2EMLCSpeedup = sNs / kNs
 	return rep, nil
 }
 
@@ -207,6 +249,8 @@ func ExpEncodeKernel(cfg Config) (*Table, error) {
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("end-to-end serial write path: scalar %.0f ns/op, kernel %.0f ns/op (%.2fx), stats match: %v",
 			rep.E2EScalarNsPerOp, rep.E2EKernelNsPerOp, rep.E2ESpeedup, rep.StatsMatch),
+		fmt.Sprintf("end-to-end MLC write path (n-cell encoder): scalar %.0f ns/op, kernel %.0f ns/op (%.2fx)",
+			rep.E2EMLCScalarNsPerOp, rep.E2EMLCKernelNsPerOp, rep.E2EMLCSpeedup),
 		"kernel path: one EncodeSlice per page span with in-kernel stats; scalar path: LoadLE + Approximate + StoreLE per value",
 		"outputs of both paths are compared in-run; a divergence clears stats_match and invalidates the artifact")
 	return t, nil

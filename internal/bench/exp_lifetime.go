@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/flipbit-sim/flipbit/internal/approx"
 	"github.com/flipbit-sim/flipbit/internal/core"
 	"github.com/flipbit-sim/flipbit/internal/flash"
 	"github.com/flipbit-sim/flipbit/internal/ftl"
@@ -66,6 +67,35 @@ type LifetimeRow struct {
 	ScrubRetired uint64 `json:"scrub_retired"`
 }
 
+// DensityRow is one cell mode's outcome in the density sweep: the same
+// seeded workload on the same cell array at one, two, or three bits per
+// cell, unmanaged but approximatable, with the encoder matched to the
+// mode's reachability order. It makes the capacity/endurance/error
+// trade of the density axis concrete: each extra bit per cell multiplies
+// capacity and divides the endurance rating by ten.
+type DensityRow struct {
+	Cell        string `json:"cell"`
+	BitsPerCell int    `json:"bits_per_cell"`
+
+	// CapacityX is the storage multiplier over SLC for the same cell
+	// array — exactly BitsPerCell.
+	CapacityX float64 `json:"capacity_x"`
+
+	Encoder   string `json:"encoder"`
+	Endurance uint32 `json:"endurance_cycles"`
+
+	WritesToFirstLoss int  `json:"writes_to_first_loss"`
+	DataLost          bool `json:"data_lost"`
+
+	// MAE is the mean absolute error per approximated value over the whole
+	// run — the accuracy paid for the erase-free writes that stretch the
+	// derated endurance.
+	MAE float64 `json:"mae"`
+
+	Erases  uint64 `json:"erases"`
+	MaxWear uint32 `json:"max_wear"`
+}
+
 // LifetimeReport is the machine-readable result written to
 // BENCH_lifetime.json.
 type LifetimeReport struct {
@@ -75,6 +105,7 @@ type LifetimeReport struct {
 	NumPages  int           `json:"num_pages"`
 	Spares    int           `json:"spares"`
 	Rows      []LifetimeRow `json:"rows"`
+	Density   []DensityRow  `json:"density"`
 }
 
 // Lifetime experiment constants. The part is deliberately tiny so every
@@ -302,6 +333,51 @@ func RunLifetime(cfg Config) (*LifetimeReport, error) {
 	if err := managed("managed+approx", true); err != nil {
 		return nil, err
 	}
+
+	// Density sweep: the identical workload on the same cell array at each
+	// density, unmanaged but whole-array approximatable, with the encoder
+	// matched to the mode — the n-bit window on the bitwise modes, the
+	// n-cell window where reachability is per-2-bit-cell level order. The
+	// derated part trades capacity (×bits per cell) against endurance
+	// (÷10 per extra bit) while approximation claws lifetime back.
+	for _, d := range []struct {
+		mode flash.CellMode
+		enc  approx.Encoder
+	}{
+		{flash.SLC, approx.MustNBit(2)},
+		{flash.MLC, approx.MustNCell(2)},
+		{flash.TLC, approx.MustNBit(2)},
+	} {
+		spec := flash.DensitySpec(lifetimeSpec(cfg), d.mode)
+		dev := core.MustNewDevice(spec, core.WithEncoder(d.enc))
+		if err := dev.SetApproxRegion(0, spec.Size()); err != nil {
+			return nil, err
+		}
+		dev.SetThreshold(lifetimeThreshold)
+		writes, lost, err := runLifetimeConfig(spec, lifetimeTarget{
+			write: dev.Write,
+			read:  dev.Read,
+		}, nil, lifetimeSlack)
+		if err != nil {
+			return nil, fmt.Errorf("density %v: %w", d.mode, err)
+		}
+		mae := 0.0
+		if st := dev.Stats(); st.ValuesTotal > 0 {
+			mae = st.MAE()
+		}
+		rep.Density = append(rep.Density, DensityRow{
+			Cell:              d.mode.String(),
+			BitsPerCell:       d.mode.Bits(),
+			CapacityX:         float64(d.mode.Bits()),
+			Encoder:           d.enc.Name(),
+			Endurance:         spec.EnduranceCycles,
+			WritesToFirstLoss: writes,
+			DataLost:          lost,
+			MAE:               mae,
+			Erases:            dev.Flash().Stats().Erases,
+			MaxWear:           dev.Flash().MaxWear(),
+		})
+	}
 	return rep, nil
 }
 
@@ -339,10 +415,32 @@ func ExpLifetime(cfg Config) (*Table, error) {
 			fmt.Sprintf("%d", row.Retirements),
 			fmt.Sprintf("%d", row.SparesUsed))
 	}
+	for _, d := range rep.Density {
+		died := "intact"
+		if d.DataLost {
+			died = "DATA LOST"
+		}
+		rel := 1.0
+		if base := rep.Density[0].WritesToFirstLoss; base > 0 {
+			rel = float64(d.WritesToFirstLoss) / float64(base)
+		}
+		t.AddRow(fmt.Sprintf("density:%s+%s", d.Cell, d.Encoder),
+			fmt.Sprintf("%d", d.WritesToFirstLoss),
+			fmt.Sprintf("%.2f×", rel),
+			died,
+			fmt.Sprintf("%d", d.Erases),
+			fmt.Sprintf("%d", d.MaxWear),
+			"—", "—", "—")
+	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("seed %#x, endurance %d cycles, %d×%dB pages, %d-page spare pool; identical seeded workload per config",
 			rep.Seed, rep.Endurance, rep.NumPages, rep.PageSize, rep.Spares),
 		"loss = acknowledged bytes destroyed (failed read-back, or a worn erase corrupting the record it rewrote); a health-gate refusal ends life with data intact",
 		"the unmanaged row loses data when its hot page wears out; managed rows level, retire and scrub until the spare pool is dry, then refuse cleanly")
+	for _, d := range rep.Density {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("density %s: %d bit(s)/cell (×%.0f capacity), endurance %d cycles, encoder %s, run MAE %.2f",
+				d.Cell, d.BitsPerCell, d.CapacityX, d.Endurance, d.Encoder, d.MAE))
+	}
 	return t, nil
 }

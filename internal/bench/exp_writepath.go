@@ -249,7 +249,7 @@ func (pl writePathPlan) runMode(d *core.Device, workers, depth int) (elapsed tim
 // the machine-readable report. Each level gets a fresh device so wear and
 // array state never carry between levels.
 func RunWritePath(cfg Config) (*WritePathReport, error) {
-	spec := writePathSpec()
+	spec := cfg.applyCell(writePathSpec())
 	totalOps := 40960
 	if cfg.Quick {
 		totalOps = 8192
@@ -325,7 +325,7 @@ func runHostScaling(cfg Config, rep *WritePathReport) error {
 		{"async", true, writePathAsyncDepth, false},
 	}
 	for _, banks := range []int{4, 8, 16} {
-		spec := writePathSpec()
+		spec := cfg.applyCell(writePathSpec())
 		spec.Banks = banks
 		plan := newWritePathPlan(spec, banks, totalOps)
 		warm := newWritePathPlan(spec, banks, 256*banks)

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that this test binary runs under the race detector,
+// where instrumentation overhead makes kernel-vs-scalar timing gates
+// meaningless.
+const raceEnabled = true

@@ -193,7 +193,8 @@ func validateHostScaling(doc map[string]any) error {
 }
 
 func validateEncode(doc map[string]any) error {
-	for _, f := range []string{"seed", "span_bytes", "e2e_ops", "e2e_scalar_ns_per_op", "e2e_kernel_ns_per_op", "e2e_speedup"} {
+	for _, f := range []string{"seed", "span_bytes", "e2e_ops", "e2e_scalar_ns_per_op", "e2e_kernel_ns_per_op", "e2e_speedup",
+		"e2e_mlc_ops", "e2e_mlc_scalar_ns_per_op", "e2e_mlc_kernel_ns_per_op", "e2e_mlc_speedup"} {
 		if _, err := num(doc, f); err != nil {
 			return err
 		}
@@ -214,9 +215,11 @@ func validateEncode(doc map[string]any) error {
 	if err := requireNums(rs, "width_bits", "values", "scalar_ns_per_value", "kernel_ns_per_value", "speedup"); err != nil {
 		return err
 	}
-	// Invariants: the tentpole claim — at least one n-bit micro row shows
-	// a ≥3× kernel speedup — and the end-to-end write path did not regress.
-	bestNBit := 0.0
+	// Invariants: the tentpole claims — at least one n-bit micro row shows
+	// a ≥3× kernel speedup, at least one n-cell (MLC) micro row shows ≥5×
+	// — and neither end-to-end write path regressed, with the MLC path
+	// (scalar-only before the cell kernels) at least doubled.
+	bestNBit, bestNCell := 0.0, 0.0
 	for i, r := range rs {
 		fam, ok := r["family"].(string)
 		if !ok {
@@ -229,12 +232,21 @@ func validateEncode(doc map[string]any) error {
 		if fam == "nbit" && sp > bestNBit {
 			bestNBit = sp
 		}
+		if fam == "ncell" && sp > bestNCell {
+			bestNCell = sp
+		}
 	}
 	if bestNBit < 3 {
 		return fmt.Errorf("best n-bit kernel speedup is %.2f, want >= 3", bestNBit)
 	}
+	if bestNCell < 5 {
+		return fmt.Errorf("best n-cell kernel speedup is %.2f, want >= 5", bestNCell)
+	}
 	if e2e, _ := num(doc, "e2e_speedup"); e2e < 1 {
 		return fmt.Errorf("end-to-end write path regressed: e2e_speedup %.2f < 1", e2e)
+	}
+	if mlc, _ := num(doc, "e2e_mlc_speedup"); mlc < 2 {
+		return fmt.Errorf("end-to-end MLC write path speedup %.2f, want >= 2", mlc)
 	}
 	return nil
 }
@@ -587,6 +599,62 @@ func validateLifetime(doc map[string]any) error {
 	}
 	if !sawUnmanaged || !sawManaged {
 		return fmt.Errorf("need both an unmanaged baseline row and a managed row")
+	}
+	return validateLifetimeDensity(doc)
+}
+
+// validateLifetimeDensity checks the cell-density sweep: one row per cell
+// mode, each with a sane capacity multiplier (exactly its bits per cell), a
+// derated endurance rating, and a workload that actually survived some
+// writes before first loss.
+func validateLifetimeDensity(doc map[string]any) error {
+	v, ok := doc["density"]
+	if !ok {
+		return fmt.Errorf("missing field %q", "density")
+	}
+	arr, ok := v.([]any)
+	if !ok || len(arr) == 0 {
+		return fmt.Errorf("field %q must be a non-empty array", "density")
+	}
+	cells := map[string]bool{}
+	for i, e := range arr {
+		r, ok := e.(map[string]any)
+		if !ok {
+			return fmt.Errorf("density[%d] is %T, want object", i, e)
+		}
+		cell, ok := r["cell"].(string)
+		if !ok {
+			return fmt.Errorf("density[%d]: missing cell name", i)
+		}
+		if _, ok := r["encoder"].(string); !ok {
+			return fmt.Errorf("density[%d] (%s): missing encoder name", i, cell)
+		}
+		if _, ok := r["data_lost"].(bool); !ok {
+			return fmt.Errorf("density[%d] (%s): missing data_lost flag", i, cell)
+		}
+		for _, f := range []string{"bits_per_cell", "capacity_x", "endurance_cycles",
+			"writes_to_first_loss", "mae", "erases", "max_wear"} {
+			if _, err := num(r, f); err != nil {
+				return fmt.Errorf("density[%d] (%s): %w", i, cell, err)
+			}
+		}
+		bits, _ := num(r, "bits_per_cell")
+		capx, _ := num(r, "capacity_x")
+		if capx != bits {
+			return fmt.Errorf("density[%d] (%s): capacity_x %v != bits_per_cell %v", i, cell, capx, bits)
+		}
+		if e, _ := num(r, "endurance_cycles"); e < 1 {
+			return fmt.Errorf("density[%d] (%s): endurance_cycles %v, want >= 1", i, cell, e)
+		}
+		if w, _ := num(r, "writes_to_first_loss"); w <= 0 {
+			return fmt.Errorf("density[%d] (%s): writes_to_first_loss %v; the workload never survived a write", i, cell, w)
+		}
+		cells[cell] = true
+	}
+	for _, c := range []string{"SLC", "MLC", "TLC"} {
+		if !cells[c] {
+			return fmt.Errorf("density sweep missing a %s row", c)
+		}
 	}
 	return nil
 }

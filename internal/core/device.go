@@ -687,11 +687,12 @@ func (s *session) apply() {
 
 // encode rewrites the approx buffer from (previous, exact), tracking error
 // over the values the CPU actually touched. When the encoder carries a
-// compiled batch kernel (approx.BatchEncoder) and the cells are SLC, the
-// whole span is encoded in one EncodeSlice call with the statistics
-// accumulated in-kernel; otherwise — MLC cells, encoders without kernels,
-// or WithScalarEncode — it falls back to the per-value reference loop,
-// which doubles as the differential-test oracle for the kernels.
+// compiled batch kernel (approx.BatchEncoder) sound for the device's cell
+// mode — see kernelEngages — the whole span is encoded in one EncodeSlice
+// call with the statistics accumulated in-kernel; otherwise (encoders
+// without kernels, mode/kernel mismatches, or WithScalarEncode) it falls
+// back to the per-value reference loop, which doubles as the
+// differential-test oracle for the kernels.
 func (s *session) encode() encodeResult {
 	d := s.d
 	w := d.Width()
@@ -709,14 +710,47 @@ func (s *session) encode() encodeResult {
 		return encodeScalarLoop(enc, s, lo, hi, w)
 	case *approx.NBit:
 		return encodeScalarLoop(enc, s, lo, hi, w)
+	case *approx.NCell:
+		return encodeScalarLoop(enc, s, lo, hi, w)
 	default:
 		return encodeScalarLoop(d.enc, s, lo, hi, w)
 	}
 }
 
+// kernelEngages reports whether enc's compiled batch kernel is sound on a
+// device with the given cell mode — both its outputs (must be programmable
+// without an erase) and its Unreachable verdict must match what the scalar
+// loop would conclude under that mode's reachability:
+//
+//   - the NCell kernel reasons per two-bit cell, so it engages only on
+//     MLC: its outputs may set bits (10 → 01), which SLC cannot program,
+//     and a legal MLC cell move can *raise* a TLC field (0b1000 → 0b0100
+//     lifts TLC field 0 from 0 to 4).
+//   - Exact's kernel judges reachability with the SLC word-wise subset
+//     test, so it engages only on SLC; on denser modes that verdict is
+//     pessimistic and would diverge from the scalar loop's.
+//   - every other batch encoder (OneBit, NBit) emits bitwise subsets of
+//     previous — reachable under every cell mode, Unreachable always
+//     false, matching the scalar verdict — so they engage everywhere.
+func kernelEngages(enc approx.Encoder, cell flash.CellMode) bool {
+	if _, ok := enc.(approx.BatchEncoder); !ok {
+		return false
+	}
+	switch enc.(type) {
+	case *approx.NCell:
+		return cell == flash.MLC
+	case approx.Exact:
+		return cell == flash.SLC
+	default:
+		return true
+	}
+}
+
 // kernelSpan returns the value-aligned dirty span the encode stage covers
-// and whether the compiled batch kernel applies to it (SLC cells, a batch
-// encoder, no scalar override, and a whole number of values).
+// and whether the compiled batch kernel applies to it (a batch encoder
+// sound for the cell mode, no scalar override, and a whole number of
+// values). Sync, concurrent, and async group commits all route through
+// this decision.
 func (s *session) kernelSpan(w bits.Width) (lo, hi int, batch bool) {
 	d := s.d
 	vb := w.Bytes()
@@ -724,9 +758,8 @@ func (s *session) kernelSpan(w bits.Width) (lo, hi int, batch bool) {
 	if hi > len(s.bufs.exact) {
 		hi = len(s.bufs.exact)
 	}
-	if d.cell == flash.SLC && !d.scalarEncode && (hi-lo)%vb == 0 {
-		_, ok := d.enc.(approx.BatchEncoder)
-		return lo, hi, ok
+	if !d.scalarEncode && (hi-lo)%vb == 0 {
+		return lo, hi, kernelEngages(d.enc, d.cell)
 	}
 	return lo, hi, false
 }
@@ -742,9 +775,9 @@ func (s *session) encodeBatch(be approx.BatchEncoder, lo, hi int, w bits.Width) 
 // BatchStats carries exactly the aggregates the scalar loop accumulates:
 // the error sums feed the tracker, MaxAbs reproduces the per-value
 // threshold test (some value exceeds the threshold iff the largest one
-// does), and Unreachable mirrors the per-value reachability check (kernel
-// outputs are bitwise subsets of previous, so it only fires for Exact on an
-// unreachable span).
+// does), and Unreachable mirrors the per-value reachability check (approx
+// kernel outputs are reachable by construction under the cell mode they
+// engage on, so it only fires for Exact on an unreachable span).
 func (d *Device) batchResult(st approx.BatchStats) encodeResult {
 	var res encodeResult
 	res.tracker.AddBatch(st.Count, st.SumAbs, st.SumSq)

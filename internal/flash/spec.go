@@ -18,38 +18,100 @@ import (
 	"github.com/flipbit-sim/flipbit/internal/energy"
 )
 
-// CellMode distinguishes single-level cells (one bit per cell; programming
-// clears bits 1→0) from multi-level cells (two bits per cell; programming
-// moves the cell's level monotonically down 11→10→01→00, §VI).
+// CellMode selects how many bits one flash cell stores and therefore what
+// a program pulse can do to it. A cell storing b bits holds one of 2^b
+// logical levels; erasing sets it to the top level and every program pulse
+// moves it monotonically *down* (§VI: 11 → 10 → 01 → 00 for MLC). SLC is
+// the degenerate b = 1 case, where "level decrease" is exactly "clear a
+// bit". Denser modes trade endurance and program cost for capacity — see
+// DensitySpec.
 type CellMode int
 
-// Supported cell modes.
+// Supported cell modes. The ordinal encodes the density: Bits() == m + 1.
 const (
-	SLC CellMode = iota
-	MLC
+	SLC CellMode = iota // 1 bit/cell, 2 levels
+	MLC                 // 2 bits/cell, 4 levels
+	TLC                 // 3 bits/cell, 8 levels
 )
 
 func (m CellMode) String() string {
-	if m == MLC {
+	switch m {
+	case SLC:
+		return "SLC"
+	case MLC:
 		return "MLC"
+	case TLC:
+		return "TLC"
 	}
-	return "SLC"
+	// Stable token for out-of-range values so error messages and logs can
+	// name the offending mode instead of mislabelling it as a real one.
+	return fmt.Sprintf("CellMode(%d)", int(m))
 }
 
+// Valid reports whether m is a supported cell mode. Spec.Validate rejects
+// invalid modes up front; nothing else in the package defends against them.
+func (m CellMode) Valid() bool { return m >= SLC && m <= TLC }
+
+// Bits returns the number of bits one cell stores under this mode.
+func (m CellMode) Bits() int { return int(m) + 1 }
+
+// Levels returns the number of logical levels one cell can hold (2^Bits).
+func (m CellMode) Levels() int { return 1 << uint(m.Bits()) }
+
 // Reachable reports whether a byte holding `from` can be programmed to
-// `to` without an erase under this cell mode: bitwise subset for SLC,
-// per-cell level decrease for MLC.
+// `to` without an erase under this cell mode: every cell-level field of
+// the byte may only decrease. Fields are Bits() wide starting at bit 0,
+// with the top field truncated at the byte boundary (TLC splits a byte
+// 3-3-2); cells never span bytes, which is what keeps the byte-granular
+// program operation well defined per cell mode. For SLC the per-field
+// test degenerates to the bitwise subset test, taken word-wise here.
 func (m CellMode) Reachable(from, to byte) bool {
 	if m == SLC {
 		return to&^from == 0
 	}
-	for c := 0; c < 4; c++ {
-		shift := uint(2 * c)
-		if to>>shift&0b11 > from>>shift&0b11 {
+	b := uint(m.Bits())
+	mask := byte(1)<<b - 1
+	for shift := uint(0); shift < 8; shift += b {
+		if to>>shift&mask > from>>shift&mask {
 			return false
 		}
 	}
 	return true
+}
+
+// DensitySpec re-parameterises base for the given cell density, modelling
+// what running the same silicon at more bits per cell costs:
+//
+//   - programming a b-bit cell needs b-fold finer pulse/verify staircases,
+//     so per-byte program latency and energy scale by Bits();
+//   - reads discriminate 2^b levels with b reference comparisons instead
+//     of one, so read and sense latency/energy scale by Bits() too;
+//   - the tighter level windows die sooner: endurance drops one decade per
+//     extra bit (the classic 100k/10k/1k SLC/MLC/TLC ladder), floored at
+//     one cycle;
+//   - erase is a whole-page charge-pump operation and does not change.
+//
+// Capacity is the flip side — the same physical cells hold Bits()× the
+// data — but this model keeps Spec geometry in *logical* bytes, so density
+// sweeps account capacity as Bits()× per physical cell (see the lifetime
+// experiment) rather than by inflating PageSize here.
+func DensitySpec(base Spec, mode CellMode) Spec {
+	s := base
+	s.Cell = mode
+	b := mode.Bits()
+	s.ProgramLatency *= time.Duration(b)
+	s.ProgramEnergy *= energy.Energy(b)
+	s.ReadLatency *= time.Duration(b)
+	s.ReadEnergy *= energy.Energy(b)
+	s.SenseLatency *= time.Duration(b)
+	s.SenseEnergy *= energy.Energy(b)
+	for i := 1; i < b; i++ {
+		s.EnduranceCycles /= 10
+	}
+	if s.EnduranceCycles == 0 {
+		s.EnduranceCycles = 1
+	}
+	return s
 }
 
 // DefaultBanks is the bank count used when a Spec leaves Banks zero.
@@ -62,7 +124,9 @@ const DefaultBanks = 4
 type Spec struct {
 	Name string
 
-	// Cell selects SLC (default) or MLC programming semantics.
+	// Cell selects the density — SLC (default), MLC or TLC — and with it
+	// the per-cell program semantics. Use DensitySpec to also derate
+	// timing, energy and endurance for the chosen density.
 	Cell CellMode
 
 	// Geometry.
@@ -134,6 +198,8 @@ func DefaultSpec() Spec {
 // problem instead of deep inside the bank split.
 func (s Spec) Validate() error {
 	switch {
+	case !s.Cell.Valid():
+		return fmt.Errorf("flash: unknown cell mode %v", s.Cell)
 	case s.PageSize <= 0:
 		return fmt.Errorf("flash: page size must be positive, got %d", s.PageSize)
 	case s.NumPages <= 0:
